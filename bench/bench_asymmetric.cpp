@@ -1,0 +1,92 @@
+/// \file bench_asymmetric.cpp
+/// Experiment E11 — the §6 asymmetric case: player-specific coin sets.
+///
+/// The paper leaves the asymmetric market (hardware-restricted mining) as
+/// future work. Our implementation shows Theorem 1's convergence is
+/// unaffected — the ordinal potential argument never inspects the action
+/// sets — and measures what restrictions *do* change: the equilibrium
+/// landscape (counts via exhaustive enumeration on small games), welfare
+/// (reward stranded on coins nobody can or wants to mine), revenue
+/// fairness, and worst-case convergence time (longest improving path in
+/// the full improvement DAG).
+
+#include "bench_common.hpp"
+#include "core/access.hpp"
+#include "core/generators.hpp"
+#include "dynamics/improvement_graph.hpp"
+#include "dynamics/learning.hpp"
+#include "equilibrium/welfare.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace goc;
+  const Cli cli(argc, argv);
+  const std::size_t trials = cli.get_u64("trials", 25);
+  const std::uint64_t seed0 = cli.get_u64("seed", 11);
+
+  bench::banner(
+      "E11 — asymmetric mining (player-specific coin sets, paper §6)",
+      "Random access matrices of varying density over n=6, |C|=3 games; "
+      "exhaustive improvement-graph analysis plus audited learning.");
+
+  Table table({"density", "games", "converged%", "avg_equilibria",
+               "longest_path_mean", "longest_path_max", "steps_mean",
+               "stranded_reward%", "fairness_mean"});
+
+  for (const double density : {1.0, 0.75, 0.5, 0.25}) {
+    Sample eqs, longest, steps, stranded, fairness;
+    std::size_t converged = 0;
+    std::size_t runs = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed0 + t * 331);
+      GameSpec spec;
+      spec.num_miners = 6;
+      spec.num_coins = 3;
+      spec.power_lo = 1;
+      spec.power_hi = 60;
+      spec.reward_lo = 50;
+      spec.reward_hi = 400;
+      const Game base = random_game(spec, rng);
+      const AccessPolicy policy =
+          density >= 1.0 ? AccessPolicy{}
+                         : AccessPolicy::random(6, 3, density, rng);
+      const Game game(base.system_ptr(), base.rewards(), policy);
+      ++runs;
+
+      const ImprovementGraphStats stats = analyze_improvement_graph(game);
+      eqs.add(static_cast<double>(stats.equilibria));
+      longest.add(static_cast<double>(stats.longest_path));
+
+      auto sched = make_scheduler(SchedulerKind::kRandomMove, seed0 ^ t);
+      LearningOptions opts;
+      opts.audit_potential = true;
+      const auto result =
+          run_learning(game, random_configuration(game, rng), *sched, opts);
+      if (result.converged) ++converged;
+      steps.add(static_cast<double>(result.steps));
+      const double total = game.rewards().total_reward().to_double();
+      const double collected =
+          distributed_reward(game, result.final_configuration).to_double();
+      stranded.add(100.0 * (total - collected) / total);
+      fairness.add(rpu_fairness_index(game, result.final_configuration));
+    }
+    table.row() << fmt_double(density, 2) << std::uint64_t(runs)
+                << fmt_double(100.0 * static_cast<double>(converged) /
+                                  static_cast<double>(runs),
+                              1)
+                << fmt_double(eqs.mean(), 1) << fmt_double(longest.mean(), 1)
+                << fmt_double(longest.max(), 0) << fmt_double(steps.mean(), 1)
+                << fmt_double(stranded.mean(), 1)
+                << fmt_double(fairness.mean(), 3);
+  }
+  bench::emit(cli, table,
+              "Access density sweep (theory: converged% == 100 at every "
+              "density; restrictions strand reward and skew revenue)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

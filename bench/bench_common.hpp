@@ -1,0 +1,50 @@
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+/// \file bench_common.hpp
+/// Conventions shared by the experiment harnesses: a wall-clock stopwatch
+/// and a uniform header/CSV-export treatment so every binary prints the
+/// paper-style rows and can optionally persist them.
+
+namespace goc::bench {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(clock::now() - start_)
+        .count();
+  }
+  void restart() { start_ = clock::now(); }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Prints the experiment banner.
+inline void banner(const std::string& experiment, const std::string& claim) {
+  std::cout << "=== " << experiment << " ===\n" << claim << "\n\n";
+}
+
+/// Prints a table and, when --csv=<path> was passed, saves it too.
+inline void emit(const Cli& cli, const Table& table, const std::string& title,
+                 const std::string& csv_suffix = "") {
+  table.print(std::cout, title);
+  std::cout << "\n";
+  if (cli.has("csv")) {
+    const std::string base = cli.get_string("csv", "bench");
+    const std::string path =
+        csv_suffix.empty() ? base + ".csv" : base + "." + csv_suffix + ".csv";
+    table.save_csv(path);
+    std::cout << "[csv saved to " << path << "]\n\n";
+  }
+}
+
+}  // namespace goc::bench

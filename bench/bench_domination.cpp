@@ -1,0 +1,95 @@
+/// \file bench_domination.cpp
+/// Experiment E12 — the §6 security attack: buying a dominant position.
+///
+/// The Discussion warns that reward design can park the system in a state
+/// where "a particular miner will have a dominant position in a coin,
+/// killing … the basic guarantee of non-manipulation (security)". We make
+/// that concrete: for each attacker rank, search the (sampled) equilibrium
+/// set for the target maximizing the attacker's share of its own coin,
+/// drive the system there with Algorithm 2 (guaranteed, bounded cost), and
+/// report the share before vs after and how often the attacker ends with a
+/// strict majority — i.e. a persistent 51% position bought with a *finite*
+/// reward subsidy.
+
+#include "bench_common.hpp"
+#include "core/generators.hpp"
+#include "design/reward_design.hpp"
+#include "equilibrium/enumerate.hpp"
+#include "equilibrium/security.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace goc;
+  const Cli cli(argc, argv);
+  const std::size_t trials = cli.get_u64("trials", 30);
+  const std::size_t n = cli.get_u64("miners", 8);
+  const std::uint64_t seed0 = cli.get_u64("seed", 12);
+
+  bench::banner(
+      "E12 — domination via reward design (paper §6 'bad configurations')",
+      "Attacker = miner of the given power rank (0 = largest). Target = the "
+      "sampled equilibrium maximizing the attacker's share of its coin; "
+      "Algorithm 2 moves the system there and the rewards revert.");
+
+  Table table({"attacker_rank", "games", "share_before_mean",
+               "share_after_mean", "majority_before%", "majority_after%",
+               "cost_epochs_mean"});
+
+  for (const std::size_t rank : {std::size_t{0}, n / 2, n - 1}) {
+    Sample before, after, cost;
+    std::size_t majority_before = 0, majority_after = 0, games = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed0 + t * 977);
+      GameSpec spec;
+      spec.num_miners = n;
+      spec.num_coins = 3;
+      spec.power_lo = 1;
+      spec.power_hi = 100;
+      spec.reward_lo = 50;
+      spec.reward_hi = 900;
+      spec.distinct_powers = true;
+      spec.sort_desc = true;
+      const Game game = random_game(spec, rng);
+      auto equilibria = sample_equilibria(game, rng, 64);
+      if (equilibria.size() < 2) continue;
+
+      const MinerId attacker(static_cast<std::uint32_t>(rank));
+      const Configuration& s0 = equilibria.front();
+      const auto target = best_domination_target(game, attacker, equilibria);
+      if (!target) continue;
+      ++games;
+
+      const Rational share0 =
+          game.system().power(attacker) / s0.mass(s0.of(attacker));
+      before.add(share0.to_double());
+      if (share0 > Rational(1, 2)) ++majority_before;
+
+      auto sched = make_scheduler(SchedulerKind::kRandomMiner, seed0 + t);
+      const DesignResult result = run_reward_design(
+          game, s0, target->equilibrium, *sched);
+      GOC_ASSERT(result.success, "Algorithm 2 must reach the target");
+      after.add(target->attacker_share.to_double());
+      if (target->attacker_share > Rational(1, 2)) ++majority_after;
+      cost.add(result.total_cost.to_double() /
+               game.rewards().total_reward().to_double());
+    }
+    if (games == 0) continue;
+    const auto pct = [&](std::size_t x) {
+      return fmt_double(100.0 * static_cast<double>(x) / static_cast<double>(games), 1);
+    };
+    table.row() << std::uint64_t(rank) << std::uint64_t(games)
+                << fmt_double(before.mean(), 3) << fmt_double(after.mean(), 3)
+                << pct(majority_before) << pct(majority_after)
+                << fmt_double(cost.mean(), 1);
+  }
+  bench::emit(cli, table,
+              "Domination attack (expected: share_after > share_before; "
+              "large attackers frequently secure >50% positions)");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

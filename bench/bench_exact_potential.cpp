@@ -1,0 +1,77 @@
+/// \file bench_exact_potential.cpp
+/// Experiment E4 — Proposition 1: no exact potential.
+///
+/// Reproduces the paper's worked 2×2 counterexample — the four
+/// configurations, their payoffs, and the nonzero improvement sum around
+/// the deviation 4-cycle — then scans random games to show the obstruction
+/// is generic for unequal powers and vanishes for equal powers (where the
+/// game degenerates to a congestion game).
+
+#include "bench_common.hpp"
+#include "core/generators.hpp"
+#include "potential/exact_potential.hpp"
+
+namespace {
+
+int run(int argc, char** argv) {
+  using namespace goc;
+  const Cli cli(argc, argv);
+  const std::size_t trials = cli.get_u64("trials", 200);
+  const std::uint64_t seed0 = cli.get_u64("seed", 4);
+
+  bench::banner("E4 — Proposition 1: the game has no exact potential",
+                "Worked example: m=(2,1), F≡1, two coins; then a random-game "
+                "scan for 4-cycle obstructions (Monderer–Shapley).");
+
+  // The paper's table of four configurations and payoffs.
+  const Game g = proposition1_game();
+  const auto sys = g.system_ptr();
+  const std::vector<std::pair<std::string, Configuration>> configs = {
+      {"s1=<c1,c1>", Configuration(sys, {CoinId(0), CoinId(0)})},
+      {"s2=<c1,c2>", Configuration(sys, {CoinId(0), CoinId(1)})},
+      {"s3=<c2,c2>", Configuration(sys, {CoinId(1), CoinId(1)})},
+      {"s4=<c2,c1>", Configuration(sys, {CoinId(1), CoinId(0)})}};
+  Table worked({"config", "u_p1", "u_p2"});
+  for (const auto& [name, s] : configs) {
+    worked.row() << name << g.payoff(s, MinerId(0)).to_string()
+                 << g.payoff(s, MinerId(1)).to_string();
+  }
+  bench::emit(cli, worked, "Worked example payoffs (paper Section 3)", "worked");
+
+  const Rational cycle = four_cycle_sum(g, configs[0].second, MinerId(0),
+                                        CoinId(1), MinerId(1), CoinId(1));
+  std::cout << "4-cycle improvement sum = " << cycle.to_string()
+            << "  (paper: 2/3 != 0 => no exact potential)\n\n";
+
+  // Random scan: unequal powers vs equal powers.
+  Table scan({"family", "games", "with_obstruction", "fraction"});
+  const auto scan_family = [&](const std::string& label, bool distinct) {
+    std::size_t with = 0;
+    for (std::size_t t = 0; t < trials; ++t) {
+      Rng rng(seed0 + t * 31 + (distinct ? 1 : 0));
+      GameSpec spec;
+      spec.num_miners = 3;
+      spec.num_coins = 2;
+      spec.power_lo = 1;
+      spec.power_hi = distinct ? 30 : 1;
+      spec.power_shape = distinct ? PowerShape::kUniform : PowerShape::kEqual;
+      spec.distinct_powers = distinct;
+      const Game game = random_game(spec, rng);
+      if (find_nonzero_four_cycle(game).has_value()) ++with;
+    }
+    scan.row() << label << std::uint64_t(trials) << std::uint64_t(with)
+               << fmt_double(static_cast<double>(with) /
+                                 static_cast<double>(trials),
+                             3);
+  };
+  scan_family("distinct powers", true);
+  scan_family("equal powers (congestion game)", false);
+  bench::emit(cli, scan,
+              "Exact-potential obstruction scan "
+              "(theory: ~1.0 for distinct powers, 0.0 for equal)");
+  return cycle.is_zero() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

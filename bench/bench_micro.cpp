@@ -1,0 +1,127 @@
+/// \file bench_micro.cpp
+/// Experiment E10 — core-operation microbenchmarks (google-benchmark).
+///
+/// Not a paper artifact; these keep the exact-arithmetic core honest:
+/// payoff evaluation, better-response scans, move application, and
+/// ordinal-potential key construction across system sizes, plus the
+/// Rational comparison fast/slow paths.
+
+#include <benchmark/benchmark.h>
+
+#include "core/generators.hpp"
+#include "core/moves.hpp"
+#include "potential/list_potential.hpp"
+
+namespace {
+
+using namespace goc;
+
+Game make_game(std::size_t miners, std::size_t coins) {
+  Rng rng(42);
+  GameSpec spec;
+  spec.num_miners = miners;
+  spec.num_coins = coins;
+  spec.power_shape = PowerShape::kPareto;
+  spec.power_lo = 10;
+  spec.reward_lo = 100;
+  spec.reward_hi = 100000;
+  return random_game(spec, rng);
+}
+
+void BM_PayoffEval(benchmark::State& state) {
+  const Game game = make_game(static_cast<std::size_t>(state.range(0)), 8);
+  Rng rng(1);
+  const Configuration s = random_configuration(game, rng);
+  std::uint32_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(game.payoff(s, MinerId(p)));
+    p = (p + 1) % static_cast<std::uint32_t>(game.num_miners());
+  }
+}
+BENCHMARK(BM_PayoffEval)->Arg(100)->Arg(1000);
+
+void BM_BetterResponseScan(benchmark::State& state) {
+  const Game game = make_game(1000, static_cast<std::size_t>(state.range(0)));
+  Rng rng(2);
+  const Configuration s = random_configuration(game, rng);
+  std::uint32_t p = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(best_response(game, s, MinerId(p)));
+    p = (p + 1) % 1000;
+  }
+}
+BENCHMARK(BM_BetterResponseScan)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_MoveApply(benchmark::State& state) {
+  const Game game = make_game(static_cast<std::size_t>(state.range(0)), 8);
+  Rng rng(3);
+  Configuration s = random_configuration(game, rng);
+  std::uint32_t p = 0;
+  for (auto _ : state) {
+    const CoinId to(
+        static_cast<std::uint32_t>((s.of(MinerId(p)).value + 1) % 8));
+    s.move(MinerId(p), to);
+    benchmark::DoNotOptimize(s.mass(to));
+    p = (p + 1) % static_cast<std::uint32_t>(game.num_miners());
+  }
+}
+BENCHMARK(BM_MoveApply)->Arg(100)->Arg(1000);
+
+void BM_PotentialKey(benchmark::State& state) {
+  const Game game = make_game(1000, static_cast<std::size_t>(state.range(0)));
+  Rng rng(4);
+  const Configuration s = random_configuration(game, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(potential_key(game, s));
+  }
+}
+BENCHMARK(BM_PotentialKey)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_RationalCompareFast(benchmark::State& state) {
+  const Rational a(123456789, 987654321);
+  const Rational b(123456788, 987654321);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+  }
+}
+BENCHMARK(BM_RationalCompareFast);
+
+void BM_RationalCompareHuge(benchmark::State& state) {
+  // Cross products exceed 128 bits → continued-fraction path.
+  const Rational a = Rational::from_parts((static_cast<i128>(1) << 100) + 1,
+                                          (static_cast<i128>(1) << 99) + 7);
+  const Rational b = Rational::from_parts((static_cast<i128>(1) << 100) + 3,
+                                          (static_cast<i128>(1) << 99) + 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a < b);
+  }
+}
+BENCHMARK(BM_RationalCompareHuge);
+
+void BM_FullLearningRun(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    const Game game = make_game(n, 8);
+    Rng rng(5);
+    Configuration s = random_configuration(game, rng);
+    state.ResumeTiming();
+    // Inline lexicographic-style loop to avoid timing scheduler allocation.
+    for (;;) {
+      bool moved = false;
+      for (std::uint32_t p = 0; p < n && !moved; ++p) {
+        if (const auto to = best_response(game, s, MinerId(p))) {
+          s.move(MinerId(p), *to);
+          moved = true;
+        }
+      }
+      if (!moved) break;
+    }
+    benchmark::DoNotOptimize(s.occupied_coins());
+  }
+}
+BENCHMARK(BM_FullLearningRun)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,215 @@
+#include "chain/chain_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace goc::chain {
+
+MultiChainSimulator::MultiChainSimulator(std::vector<double> miner_powers,
+                                         std::vector<ChainSpec> chains,
+                                         ChainSimOptions options,
+                                         std::vector<std::size_t> initial_assignment)
+    : powers_(std::move(miner_powers)),
+      chains_(std::move(chains)),
+      options_(options),
+      rng_(options.seed) {
+  GOC_CHECK_ARG(!powers_.empty(), "need at least one miner");
+  GOC_CHECK_ARG(!chains_.empty(), "need at least one chain");
+  for (const double m : powers_) {
+    GOC_CHECK_ARG(m > 0.0, "miner powers must be positive");
+  }
+  for (const ChainSpec& c : chains_) {
+    GOC_CHECK_ARG(c.initial_difficulty > 0.0, "difficulty must be positive");
+    GOC_CHECK_ARG(c.target_interval_hours > 0.0, "target interval must be positive");
+    GOC_CHECK_ARG(c.block_reward_fiat > 0.0, "block reward must be positive");
+    GOC_CHECK_ARG(c.adjuster != nullptr, "every chain needs a DAA");
+  }
+  if (initial_assignment.empty()) {
+    assignment_.assign(powers_.size(), 0);
+  } else {
+    GOC_CHECK_ARG(initial_assignment.size() == powers_.size(),
+                  "assignment arity must match miners");
+    for (const std::size_t c : initial_assignment) {
+      GOC_CHECK_ARG(c < chains_.size(), "assignment references unknown chain");
+    }
+    assignment_ = std::move(initial_assignment);
+  }
+  mass_.assign(chains_.size(), 0.0);
+  for (std::size_t i = 0; i < powers_.size(); ++i) {
+    mass_[assignment_[i]] += powers_[i];
+  }
+  difficulty_.resize(chains_.size());
+  reward_fiat_.resize(chains_.size());
+  for (std::size_t c = 0; c < chains_.size(); ++c) {
+    difficulty_[c] = chains_[c].initial_difficulty;
+    reward_fiat_[c] = chains_[c].block_reward_fiat;
+  }
+  generation_.assign(chains_.size(), 0);
+  result_.blocks_per_chain.assign(chains_.size(), 0);
+  result_.miner_rewards_fiat.assign(powers_.size(), 0.0);
+  result_.miner_blocks.assign(powers_.size(), 0);
+  predicted_rewards_.assign(powers_.size(), 0.0);
+}
+
+void MultiChainSimulator::arm_block_race(std::size_t chain) {
+  if (mass_[chain] <= 0.0) return;  // re-armed when a miner joins
+  // The next block faces the prospective difficulty (EDA discounts apply).
+  const double difficulty =
+      chains_[chain].adjuster->prospective(queue_.now(), difficulty_[chain]);
+  const double rate = mass_[chain] / difficulty;  // blocks per hour
+  const double at = queue_.now() + rng_.exponential(rate);
+  const std::uint64_t gen = generation_[chain];
+  queue_.schedule(at, [this, chain, gen] {
+    if (gen != generation_[chain]) return;  // stale race: hashrate changed
+    on_block(chain);
+  });
+}
+
+void MultiChainSimulator::on_block(std::size_t chain) {
+  const ChainSpec& spec = chains_[chain];
+  ++result_.blocks_per_chain[chain];
+
+  // Winner lottery ∝ power among the chain's miners; simultaneously accrue
+  // the proportional-split prediction the paper's model assumes.
+  const double ticket = rng_.uniform01() * mass_[chain];
+  double acc = 0.0;
+  std::size_t winner = powers_.size();
+  for (std::size_t i = 0; i < powers_.size(); ++i) {
+    if (assignment_[i] != chain) continue;
+    predicted_rewards_[i] +=
+        reward_fiat_[chain] * powers_[i] / mass_[chain];
+    if (winner == powers_.size()) {
+      acc += powers_[i];
+      if (ticket < acc) winner = i;
+    }
+  }
+  if (winner == powers_.size()) {
+    // Numeric edge (ticket == mass): award the last member.
+    for (std::size_t i = powers_.size(); i-- > 0;) {
+      if (assignment_[i] == chain) {
+        winner = i;
+        break;
+      }
+    }
+  }
+  GOC_ASSERT(winner < powers_.size(), "block found on a chain with no miners");
+  result_.miner_rewards_fiat[winner] += reward_fiat_[chain];
+  ++result_.miner_blocks[winner];
+
+  difficulty_[chain] = spec.adjuster->on_block(queue_.now(), difficulty_[chain]);
+  GOC_ASSERT(difficulty_[chain] > 0.0, "DAA produced nonpositive difficulty");
+  arm_block_race(chain);
+}
+
+double MultiChainSimulator::expected_rpu_game(std::size_t miner,
+                                              std::size_t chain,
+                                              bool joining) const {
+  // The paper's weight: protocol reward rate in fiat per hour.
+  const double weight =
+      reward_fiat_[chain] / chains_[chain].target_interval_hours;
+  const double mass = mass_[chain] + (joining ? powers_[miner] : 0.0);
+  return weight * powers_[miner] / mass;
+}
+
+void MultiChainSimulator::move_miner(std::size_t miner, std::size_t to_chain) {
+  const std::size_t from = assignment_[miner];
+  if (from == to_chain) return;
+  mass_[from] -= powers_[miner];
+  if (mass_[from] < 0.0) mass_[from] = 0.0;  // float dust
+  mass_[to_chain] += powers_[miner];
+  assignment_[miner] = to_chain;
+  ++result_.migrations;
+  // Both races now run at the wrong rate; memorylessness makes a fresh
+  // exponential draw exact.
+  ++generation_[from];
+  ++generation_[to_chain];
+  arm_block_race(from);
+  arm_block_race(to_chain);
+}
+
+void MultiChainSimulator::decision_epoch() {
+  if (reward_hook_) {
+    for (std::size_t c = 0; c < chains_.size(); ++c) {
+      const double updated = reward_hook_(c, queue_.now());
+      GOC_ASSERT(updated > 0.0, "reward hook produced a nonpositive reward");
+      reward_fiat_[c] = updated;
+    }
+  }
+  if (options_.policy != MinerPolicy::kStatic) {
+    for (std::size_t i = 0; i < powers_.size(); ++i) {
+      if (!rng_.bernoulli(options_.reevaluation_fraction)) continue;
+      const std::size_t cur = assignment_[i];
+      std::size_t best = cur;
+      if (options_.policy == MinerPolicy::kBetterResponse) {
+        double best_value = expected_rpu_game(i, cur, /*joining=*/false);
+        for (std::size_t c = 0; c < chains_.size(); ++c) {
+          if (c == cur) continue;
+          const double v = expected_rpu_game(i, c, /*joining=*/true);
+          if (v > best_value) {
+            best_value = v;
+            best = c;
+          }
+        }
+      } else {  // kMyopicDifficulty: chase fiat per hash at the difficulty
+        // the next block would face (incl. prospective EDA discounts).
+        const auto myopic_value = [&](std::size_t c) {
+          const double d =
+              chains_[c].adjuster->prospective(queue_.now(), difficulty_[c]);
+          return reward_fiat_[c] / d;
+        };
+        // Hysteresis models switching friction: stay unless an alternative
+        // clears the current chain by the configured relative margin.
+        double best_value =
+            myopic_value(cur) * (1.0 + options_.myopic_hysteresis);
+        for (std::size_t c = 0; c < chains_.size(); ++c) {
+          if (c == cur) continue;
+          const double v = myopic_value(c);
+          if (v > best_value) {
+            best_value = v;
+            best = c;
+          }
+        }
+      }
+      move_miner(i, best);
+    }
+  }
+
+  if (options_.record_timeline) {
+    TimelinePoint point;
+    point.t_hours = queue_.now();
+    point.difficulty = difficulty_;
+    point.hashrate = mass_;
+    point.blocks = result_.blocks_per_chain;
+    point.reward_fiat = reward_fiat_;
+    result_.timeline.push_back(std::move(point));
+  }
+
+  const double next = queue_.now() + options_.decision_interval_hours;
+  if (next <= options_.duration_hours) {
+    queue_.schedule(next, [this] { decision_epoch(); });
+  }
+}
+
+ChainSimResult MultiChainSimulator::run() {
+  for (std::size_t c = 0; c < chains_.size(); ++c) arm_block_race(c);
+  queue_.schedule(options_.decision_interval_hours, [this] { decision_epoch(); });
+  queue_.run_until(options_.duration_hours);
+
+  // E9 validation: realized vs predicted reward shares.
+  double total = 0.0;
+  for (const double r : result_.miner_rewards_fiat) total += r;
+  if (total > 0.0) {
+    double mae = 0.0;
+    for (std::size_t i = 0; i < powers_.size(); ++i) {
+      const double realized = result_.miner_rewards_fiat[i] / total;
+      const double predicted = predicted_rewards_[i] / total;
+      mae += std::fabs(realized - predicted);
+    }
+    result_.share_prediction_mae = mae / static_cast<double>(powers_.size());
+  }
+  return std::move(result_);
+}
+
+}  // namespace goc::chain

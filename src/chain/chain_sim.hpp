@@ -1,0 +1,123 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/des.hpp"
+#include "chain/difficulty.hpp"
+#include "util/rng.hpp"
+
+/// \file chain_sim.hpp
+/// Multi-chain proof-of-work simulator (experiment E9, and the mechanism
+/// behind Figure 1b's hashrate series).
+///
+/// Each chain runs an exponential block race: with aggregate hashrate M_c
+/// and difficulty D_c, the next block arrives after Exp(M_c/D_c) hours and
+/// is won by a miner on c with probability proportional to its power —
+/// the mechanism the paper abstracts as "reward divided in proportion to
+/// power". The simulator validates that abstraction (realized reward share
+/// → m_p/M_c) and exposes the difficulty-adjustment dynamics the
+/// abstraction hides.
+///
+/// Miner policies at decision epochs:
+///  * kStatic          — never move (pure validation of the reward split);
+///  * kBetterResponse  — the paper's game semantics: coin weight is the
+///    protocol reward rate F(c) = reward·/target_interval, miners take
+///    better responses on F(c)·m/(M+m) vs F(c)·m/M;
+///  * kMyopicDifficulty — chase instantaneous per-hash profitability
+///    reward/D_c (what whattomine-style dashboards report); with an EDA
+///    chain this produces the famous hashrate sawtooth.
+
+namespace goc::chain {
+
+struct ChainSpec {
+  std::string name;
+  double initial_difficulty;      ///< hash-units per block
+  double target_interval_hours;   ///< protocol cadence
+  double block_reward_fiat;       ///< fiat value per block
+  std::unique_ptr<DifficultyAdjuster> adjuster;
+};
+
+enum class MinerPolicy { kStatic, kBetterResponse, kMyopicDifficulty };
+
+struct ChainSimOptions {
+  double duration_hours = 24.0 * 30;
+  double decision_interval_hours = 1.0;
+  MinerPolicy policy = MinerPolicy::kBetterResponse;
+  /// Fraction of miners re-evaluating per decision epoch (inertia).
+  double reevaluation_fraction = 0.25;
+  /// Myopic policy only: switch only when the best alternative beats the
+  /// current chain by this relative margin (switching costs / friction).
+  double myopic_hysteresis = 0.0;
+  std::uint64_t seed = 42;
+  /// Record a timeline sample at every decision epoch.
+  bool record_timeline = true;
+};
+
+/// Recomputes a chain's fiat block reward at a decision epoch — the
+/// coupling point for exchange-rate processes (fiat reward = subsidy ×
+/// price(t)). Called per chain with the simulation clock; the returned
+/// value must be positive.
+using RewardHook = std::function<double(std::size_t chain, double t_hours)>;
+
+struct TimelinePoint {
+  double t_hours = 0.0;
+  std::vector<double> difficulty;      ///< per chain
+  std::vector<double> hashrate;        ///< per chain (hash-units)
+  std::vector<std::uint64_t> blocks;   ///< cumulative per chain
+  std::vector<double> reward_fiat;     ///< per chain (as of this epoch)
+};
+
+struct ChainSimResult {
+  std::vector<std::uint64_t> blocks_per_chain;
+  std::vector<double> miner_rewards_fiat;       ///< per miner
+  std::vector<std::uint64_t> miner_blocks;      ///< per miner
+  std::vector<TimelinePoint> timeline;
+  /// Mean absolute error between each miner's realized reward share and
+  /// its within-chain power share prediction, over miners with nonzero
+  /// predicted share (the E9 validation number).
+  double share_prediction_mae = 0.0;
+  std::uint64_t migrations = 0;  ///< total miner moves across the run
+};
+
+class MultiChainSimulator {
+ public:
+  /// `miner_powers` in hash-units/hour; `initial_assignment[i]` is the
+  /// starting chain of miner i (empty → all on chain 0).
+  MultiChainSimulator(std::vector<double> miner_powers,
+                      std::vector<ChainSpec> chains, ChainSimOptions options,
+                      std::vector<std::size_t> initial_assignment = {});
+
+  /// Installs a per-epoch fiat-reward recomputation (price coupling). Must
+  /// be called before run().
+  void set_reward_hook(RewardHook hook) { reward_hook_ = std::move(hook); }
+
+  ChainSimResult run();
+
+ private:
+  void arm_block_race(std::size_t chain);
+  void on_block(std::size_t chain);
+  void decision_epoch();
+  void move_miner(std::size_t miner, std::size_t to_chain);
+  double expected_rpu_game(std::size_t miner, std::size_t chain, bool joining) const;
+
+  std::vector<double> powers_;
+  std::vector<ChainSpec> chains_;
+  ChainSimOptions options_;
+  Rng rng_;
+
+  EventQueue queue_;
+  std::vector<std::size_t> assignment_;     // miner -> chain
+  std::vector<double> mass_;                // per chain
+  std::vector<double> difficulty_;          // per chain
+  std::vector<double> reward_fiat_;         // per chain (hook-updated)
+  std::vector<std::uint64_t> generation_;   // block-race invalidation
+  RewardHook reward_hook_;                  // optional price coupling
+  ChainSimResult result_;
+  // Accumulated (power-share × chain reward) prediction per miner.
+  std::vector<double> predicted_rewards_;
+};
+
+}  // namespace goc::chain

@@ -1,0 +1,36 @@
+#include "chain/des.hpp"
+
+#include <utility>
+
+namespace goc::chain {
+
+void EventQueue::schedule(double time, Callback fn) {
+  GOC_CHECK_ARG(time >= now_, "cannot schedule events in the past");
+  GOC_CHECK_ARG(fn != nullptr, "cannot schedule a null callback");
+  queue_.push(Item{time, next_seq_++, std::move(fn)});
+}
+
+bool EventQueue::run_next() {
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the callback is moved out via const_cast,
+  // which is safe because the element is popped immediately after.
+  Item item = std::move(const_cast<Item&>(queue_.top()));
+  queue_.pop();
+  now_ = item.time;
+  item.fn();
+  return true;
+}
+
+void EventQueue::run_until(double t_end) {
+  GOC_CHECK_ARG(t_end >= now_, "cannot run backwards");
+  while (!queue_.empty() && queue_.top().time <= t_end) {
+    run_next();
+  }
+  now_ = t_end;
+}
+
+void EventQueue::clear() {
+  while (!queue_.empty()) queue_.pop();
+}
+
+}  // namespace goc::chain

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/assert.hpp"
+
+/// \file des.hpp
+/// A minimal discrete-event simulation engine: a time-ordered queue of
+/// callbacks with FIFO tie-breaking. The chain simulator runs block races
+/// and miner decision epochs on it; stale events (e.g. a block race whose
+/// rate changed when miners migrated) are handled by generation counters at
+/// the call site — the exponential race is memoryless, so resampling after
+/// an invalidation is statistically exact.
+
+namespace goc::chain {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `fn` at absolute `time` (must be ≥ now()).
+  void schedule(double time, Callback fn);
+
+  /// Pops and runs the earliest event. Returns false when empty.
+  bool run_next();
+
+  /// Runs events with time ≤ `t_end`; afterwards now() == t_end (even if
+  /// the queue drained earlier).
+  void run_until(double t_end);
+
+  double now() const noexcept { return now_; }
+  std::size_t pending() const noexcept { return queue_.size(); }
+  bool empty() const noexcept { return queue_.empty(); }
+
+  /// Drops all pending events (the clock is unchanged).
+  void clear();
+
+ private:
+  struct Item {
+    double time;
+    std::uint64_t seq;  // insertion order for deterministic ties
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Item& a, const Item& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace goc::chain

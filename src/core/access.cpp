@@ -1,0 +1,110 @@
+#include "core/access.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+AccessPolicy::AccessPolicy(std::vector<std::vector<bool>> allowed)
+    : allowed_(std::move(allowed)) {
+  GOC_CHECK_ARG(!allowed_.empty(), "empty access matrix; use the default "
+                                   "constructor for the unrestricted policy");
+  const std::size_t coins = allowed_.front().size();
+  GOC_CHECK_ARG(coins >= 1, "access matrix needs at least one coin column");
+  for (const auto& row : allowed_) {
+    GOC_CHECK_ARG(row.size() == coins, "ragged access matrix");
+    bool any = false;
+    for (const bool b : row) any = any || b;
+    GOC_CHECK_ARG(any, "every miner must be able to mine at least one coin");
+  }
+}
+
+AccessPolicy AccessPolicy::random(std::size_t num_miners, std::size_t num_coins,
+                                  double density, Rng& rng) {
+  GOC_CHECK_ARG(num_miners >= 1 && num_coins >= 1, "empty system");
+  GOC_CHECK_ARG(density >= 0.0 && density <= 1.0, "density must lie in [0,1]");
+  std::vector<std::vector<bool>> allowed(num_miners,
+                                         std::vector<bool>(num_coins, false));
+  for (std::size_t p = 0; p < num_miners; ++p) {
+    for (std::size_t c = 0; c < num_coins; ++c) {
+      allowed[p][c] = rng.bernoulli(density);
+    }
+    // Well-formedness: at least one coin per miner.
+    allowed[p][rng.next_below(num_coins)] = true;
+  }
+  return AccessPolicy(std::move(allowed));
+}
+
+AccessPolicy AccessPolicy::hardware_classes(
+    const std::vector<std::size_t>& miner_class,
+    const std::vector<std::vector<bool>>& class_allows) {
+  GOC_CHECK_ARG(!miner_class.empty(), "no miners");
+  GOC_CHECK_ARG(!class_allows.empty(), "no hardware classes");
+  std::vector<std::vector<bool>> allowed;
+  allowed.reserve(miner_class.size());
+  for (const std::size_t cls : miner_class) {
+    GOC_CHECK_ARG(cls < class_allows.size(), "unknown hardware class");
+    allowed.push_back(class_allows[cls]);
+  }
+  return AccessPolicy(std::move(allowed));
+}
+
+bool AccessPolicy::is_unrestricted() const noexcept {
+  if (allowed_.empty()) return true;
+  for (const auto& row : allowed_) {
+    for (const bool b : row) {
+      if (!b) return false;
+    }
+  }
+  return true;
+}
+
+bool AccessPolicy::allowed(MinerId p, CoinId c) const {
+  if (allowed_.empty()) return true;
+  GOC_CHECK_ARG(p.value < allowed_.size(), "unknown miner id");
+  GOC_CHECK_ARG(c.value < allowed_.front().size(), "unknown coin id");
+  return allowed_[p.value][c.value];
+}
+
+std::vector<CoinId> AccessPolicy::allowed_coins(MinerId p,
+                                                std::size_t num_coins) const {
+  std::vector<CoinId> coins;
+  for (std::uint32_t c = 0; c < num_coins; ++c) {
+    if (allowed(p, CoinId(c))) coins.emplace_back(c);
+  }
+  return coins;
+}
+
+void AccessPolicy::validate(std::size_t num_miners, std::size_t num_coins) const {
+  if (allowed_.empty()) return;
+  GOC_CHECK_ARG(allowed_.size() == num_miners,
+                "access matrix rows must equal the number of miners");
+  GOC_CHECK_ARG(allowed_.front().size() == num_coins,
+                "access matrix columns must equal the number of coins");
+}
+
+double AccessPolicy::density(std::size_t num_miners, std::size_t num_coins) const {
+  if (allowed_.empty()) return 1.0;
+  std::size_t on = 0;
+  for (const auto& row : allowed_) {
+    for (const bool b : row) on += b ? 1 : 0;
+  }
+  return static_cast<double>(on) /
+         static_cast<double>(num_miners * num_coins);
+}
+
+std::string AccessPolicy::to_string() const {
+  if (allowed_.empty()) return "AccessPolicy{unrestricted}";
+  std::ostringstream os;
+  os << "AccessPolicy{";
+  for (std::size_t p = 0; p < allowed_.size(); ++p) {
+    if (p != 0) os << ", ";
+    os << "p" << p << ":";
+    for (const bool b : allowed_[p]) os << (b ? '1' : '0');
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace goc

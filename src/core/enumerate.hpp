@@ -1,0 +1,29 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "core/configuration.hpp"
+#include "core/system.hpp"
+
+/// \file enumerate.hpp
+/// Exhaustive iteration over the configuration space S = C^n (odometer
+/// order). Exponential — callers must bound the space; used by equilibrium
+/// enumeration, Assumption 1 checking, and exact-potential verification on
+/// small games.
+
+namespace goc {
+
+/// Number of configurations |C|^n, or nullopt if it exceeds 2^63−1.
+std::optional<std::uint64_t> configuration_count(const System& system);
+
+/// Invokes `visit` on every configuration in odometer order (miner 0 is the
+/// fastest-changing digit). Stops early when `visit` returns false.
+/// Throws std::invalid_argument when |C|^n > max_configs.
+void for_each_configuration(const std::shared_ptr<const System>& system,
+                            std::uint64_t max_configs,
+                            const std::function<bool(const Configuration&)>& visit);
+
+}  // namespace goc

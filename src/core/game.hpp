@@ -1,0 +1,80 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/access.hpp"
+#include "core/configuration.hpp"
+#include "core/reward.hpp"
+#include "core/system.hpp"
+#include "util/xrational.hpp"
+
+/// \file game.hpp
+/// The game G_{Π,C,F} (Section 2): a system plus a reward function.
+///
+/// Payoff semantics: coin c divides F(c) among its miners proportionally to
+/// power, so RPU_c(s) = F(c)/M_c(s) and u_p(s) = m_p · RPU_{s.p}(s). An
+/// empty coin's RPU is modeled as +∞ (see DESIGN.md §2.1): joining it alone
+/// yields the full reward, i.e. the *post-move* RPU is what better-response
+/// reasoning uses, and Observations 1–2 stay valid with this convention.
+
+namespace goc {
+
+class Game {
+ public:
+  /// Shares the system with configurations and other games (e.g. designed
+  /// reward variants over the same ⟨Π, C⟩). The optional access policy
+  /// models the asymmetric case of §6 (player-specific coin sets); it
+  /// defaults to unrestricted, the paper's base model.
+  Game(std::shared_ptr<const System> system, RewardFunction rewards,
+       AccessPolicy access = {});
+
+  /// Convenience: takes ownership of a freshly built system.
+  Game(System system, RewardFunction rewards, AccessPolicy access = {});
+
+  const System& system() const noexcept { return *system_; }
+  const std::shared_ptr<const System>& system_ptr() const noexcept {
+    return system_;
+  }
+  const RewardFunction& rewards() const noexcept { return rewards_; }
+  const AccessPolicy& access() const noexcept { return access_; }
+
+  /// May miner p (re)point its hashpower at coin c?
+  bool can_mine(MinerId p, CoinId c) const { return access_.allowed(p, c); }
+
+  /// The coins p may mine, in id order.
+  std::vector<CoinId> allowed_coins(MinerId p) const {
+    return access_.allowed_coins(p, num_coins());
+  }
+
+  /// Every miner in s sits on a coin it may mine.
+  bool respects_access(const Configuration& s) const;
+
+  std::size_t num_miners() const noexcept { return system_->num_miners(); }
+  std::size_t num_coins() const noexcept { return system_->num_coins(); }
+
+  /// RPU_c(s) = F(c)/M_c(s); +∞ when c is empty.
+  XRational rpu(const Configuration& s, CoinId c) const;
+
+  /// u_p(s) = m_p · RPU_{s.p}(s). Always finite (p itself mines s.p).
+  Rational payoff(const Configuration& s, MinerId p) const;
+
+  /// u_p((s_{-p}, c)) — p's payoff after unilaterally moving to c (equals
+  /// payoff(s, p) when c == s.p). Always finite. Throws when the access
+  /// policy forbids p mining c.
+  Rational payoff_if_move(const Configuration& s, MinerId p, CoinId c) const;
+
+  /// Same game, different rewards (used by the reward-design mechanism);
+  /// the access policy carries over.
+  Game with_rewards(RewardFunction rewards) const;
+
+  std::string to_string() const;
+
+ private:
+  std::shared_ptr<const System> system_;
+  RewardFunction rewards_;
+  AccessPolicy access_;
+};
+
+}  // namespace goc

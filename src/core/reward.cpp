@@ -1,0 +1,80 @@
+#include "core/reward.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+RewardFunction::RewardFunction(std::vector<Rational> rewards)
+    : rewards_(std::move(rewards)) {
+  GOC_CHECK_ARG(!rewards_.empty(), "a reward function needs at least one coin");
+  max_ = rewards_.front();
+  min_ = rewards_.front();
+  total_ = Rational(0);
+  for (const auto& r : rewards_) {
+    GOC_CHECK_ARG(r.is_positive(), "coin rewards must be positive");
+    if (r > max_) max_ = r;
+    if (r < min_) min_ = r;
+    total_ += r;
+  }
+}
+
+RewardFunction RewardFunction::constant(std::size_t num_coins, Rational value) {
+  GOC_CHECK_ARG(value.is_positive(), "coin rewards must be positive");
+  return RewardFunction(std::vector<Rational>(num_coins, value));
+}
+
+RewardFunction RewardFunction::from_integers(
+    const std::vector<std::int64_t>& rewards) {
+  std::vector<Rational> r;
+  r.reserve(rewards.size());
+  for (auto v : rewards) r.emplace_back(v);
+  return RewardFunction(std::move(r));
+}
+
+const Rational& RewardFunction::operator()(CoinId c) const {
+  GOC_CHECK_ARG(c.value < rewards_.size(), "unknown coin id");
+  return rewards_[c.value];
+}
+
+bool RewardFunction::is_symmetric() const noexcept { return min_ == max_; }
+
+RewardFunction RewardFunction::with(CoinId c, Rational value) const {
+  GOC_CHECK_ARG(c.value < rewards_.size(), "unknown coin id");
+  GOC_CHECK_ARG(value.is_positive(), "coin rewards must be positive");
+  std::vector<Rational> copy = rewards_;
+  copy[c.value] = std::move(value);
+  return RewardFunction(std::move(copy));
+}
+
+bool RewardFunction::dominates(const RewardFunction& other) const {
+  GOC_CHECK_ARG(num_coins() == other.num_coins(),
+                "reward functions over different coin sets");
+  for (std::size_t i = 0; i < rewards_.size(); ++i) {
+    if (rewards_[i] < other.rewards_[i]) return false;
+  }
+  return true;
+}
+
+Rational RewardFunction::overpayment(const RewardFunction& base) const {
+  GOC_CHECK_ARG(dominates(base), "overpayment of a non-dominating function");
+  Rational sum(0);
+  for (std::size_t i = 0; i < rewards_.size(); ++i) {
+    sum += rewards_[i] - base.rewards_[i];
+  }
+  return sum;
+}
+
+std::string RewardFunction::to_string() const {
+  std::ostringstream os;
+  os << "F[";
+  for (std::size_t i = 0; i < rewards_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << rewards_[i].to_string();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace goc

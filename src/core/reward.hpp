@@ -1,0 +1,69 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+#include "util/rational.hpp"
+
+/// \file reward.hpp
+/// The paper's reward function F : C → R+ (Section 2). Every coin's reward
+/// is strictly positive; a `Game` couples a `System` with a
+/// `RewardFunction`, and the reward-design machinery of Section 5 produces
+/// *modified* reward functions H with H(c) ≥ F(c).
+
+namespace goc {
+
+class RewardFunction {
+ public:
+  /// `rewards[c]` is F(c); all entries must be positive.
+  explicit RewardFunction(std::vector<Rational> rewards);
+
+  /// Constant function F(c) = value (the "symmetric case" of Appendix B).
+  static RewardFunction constant(std::size_t num_coins, Rational value);
+
+  /// Convenience: integer rewards.
+  static RewardFunction from_integers(const std::vector<std::int64_t>& rewards);
+
+  std::size_t num_coins() const noexcept { return rewards_.size(); }
+
+  const Rational& operator()(CoinId c) const;
+  const Rational& at(CoinId c) const { return (*this)(c); }
+  const std::vector<Rational>& values() const noexcept { return rewards_; }
+
+  /// max_c F(c).
+  const Rational& max_reward() const noexcept { return max_; }
+  /// min_c F(c).
+  const Rational& min_reward() const noexcept { return min_; }
+  /// Σ_c F(c).
+  const Rational& total_reward() const noexcept { return total_; }
+
+  /// True iff F is constant across coins.
+  bool is_symmetric() const noexcept;
+
+  /// Returns a copy with coin `c` set to `value` (must be positive).
+  RewardFunction with(CoinId c, Rational value) const;
+
+  /// Pointwise `this ≥ other` — the Algorithm 1 admissibility condition for
+  /// a designed reward function relative to the base F.
+  bool dominates(const RewardFunction& other) const;
+
+  /// Σ_c (this(c) − base(c)); the per-epoch cost a manipulator pays to
+  /// sustain this designed reward function over `base`. Requires
+  /// `dominates(base)`.
+  Rational overpayment(const RewardFunction& base) const;
+
+  bool operator==(const RewardFunction& other) const noexcept {
+    return rewards_ == other.rewards_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Rational> rewards_;
+  Rational max_;
+  Rational min_;
+  Rational total_;
+};
+
+}  // namespace goc

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+/// \file types.hpp
+/// Strong identifier types for the two kinds of entities in the model:
+/// miners (players) and coins (resources). Using distinct wrapper types —
+/// rather than raw indices — makes it impossible to index a coin table with
+/// a miner id and vice versa.
+
+namespace goc {
+
+struct MinerId {
+  std::uint32_t value = 0;
+
+  constexpr MinerId() = default;
+  constexpr explicit MinerId(std::uint32_t v) : value(v) {}
+
+  constexpr auto operator<=>(const MinerId&) const = default;
+
+  std::string to_string() const { return "p" + std::to_string(value); }
+};
+
+struct CoinId {
+  std::uint32_t value = 0;
+
+  constexpr CoinId() = default;
+  constexpr explicit CoinId(std::uint32_t v) : value(v) {}
+
+  constexpr auto operator<=>(const CoinId&) const = default;
+
+  std::string to_string() const { return "c" + std::to_string(value); }
+};
+
+}  // namespace goc
+
+template <>
+struct std::hash<goc::MinerId> {
+  std::size_t operator()(const goc::MinerId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<goc::CoinId> {
+  std::size_t operator()(const goc::CoinId& id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

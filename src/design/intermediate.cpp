@@ -1,0 +1,64 @@
+#include "design/intermediate.hpp"
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+Configuration intermediate_configuration(const Configuration& sf,
+                                         std::size_t stage) {
+  const std::size_t n = sf.num_miners();
+  GOC_CHECK_ARG(stage >= 1 && stage <= n, "stage out of range [1, n]");
+  std::vector<CoinId> assignment(n);
+  const CoinId stage_coin = sf.of(MinerId(static_cast<std::uint32_t>(stage - 1)));
+  for (std::size_t k = 0; k < n; ++k) {
+    // Paper (1-based): s^i.p_k = sf.p_k for k ≤ i, sf.p_i for k > i.
+    assignment[k] = (k + 1 <= stage)
+                        ? sf.of(MinerId(static_cast<std::uint32_t>(k)))
+                        : stage_coin;
+  }
+  return Configuration(sf.system_ptr(), std::move(assignment));
+}
+
+bool in_stage_set(const Configuration& s, const Configuration& sf,
+                  std::size_t stage) {
+  const std::size_t n = sf.num_miners();
+  GOC_CHECK_ARG(stage >= 2 && stage <= n, "T_i is defined for stages 2..n");
+  GOC_CHECK_ARG(s.num_miners() == n, "configurations over different systems");
+  const CoinId coin_i = sf.of(MinerId(static_cast<std::uint32_t>(stage - 1)));
+  const CoinId coin_prev = sf.of(MinerId(static_cast<std::uint32_t>(stage - 2)));
+  for (std::size_t k = 0; k < n; ++k) {
+    const MinerId p(static_cast<std::uint32_t>(k));
+    if (k + 1 <= stage - 1) {
+      if (s.of(p) != sf.of(p)) return false;
+    } else {
+      if (s.of(p) != coin_i && s.of(p) != coin_prev) return false;
+    }
+  }
+  return true;
+}
+
+std::optional<std::size_t> mover_index(const Configuration& s,
+                                       const Configuration& sf,
+                                       std::size_t stage) {
+  GOC_CHECK_ARG(in_stage_set(s, sf, stage), "mover_index requires s ∈ T_i");
+  const std::size_t n = sf.num_miners();
+  const CoinId coin_i = sf.of(MinerId(static_cast<std::uint32_t>(stage - 1)));
+  // m_i(s) = min{j | ∀l > j: s.p_l = sf.p_i} — i.e. the largest (1-based)
+  // index whose miner is NOT yet on sf.p_i, clamped below by the T_i prefix.
+  for (std::size_t k = n; k >= stage; --k) {
+    const MinerId p(static_cast<std::uint32_t>(k - 1));
+    if (s.of(p) != coin_i) return k;
+  }
+  // All of p_i..p_n already on sf.p_i and the prefix is final ⇒ s == s^i.
+  return std::nullopt;
+}
+
+std::size_t anchor_index(const Configuration& s, const Configuration& sf,
+                         std::size_t stage) {
+  const auto mover = mover_index(s, sf, stage);
+  GOC_CHECK_ARG(mover.has_value(), "anchor undefined at s == s^i");
+  GOC_ASSERT(*mover >= 2, "mover index must be at least stage ≥ 2");
+  return *mover - 1;
+}
+
+}  // namespace goc

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/configuration.hpp"
+
+/// \file intermediate.hpp
+/// Stage geometry for the dynamic reward-design algorithm (Section 5.1).
+///
+/// Throughout this module miners are assumed indexed in *strictly
+/// decreasing* power order (p_0 is the paper's p_1, the largest), the
+/// standing assumption of Section 5. Stage numbers are 1-based to match the
+/// paper: stage i ∈ {1..n}. The paper's miner subscripts are 1-based; the
+/// code uses 0-based `MinerId`s, so the paper's p_k is `MinerId(k−1)`.
+///
+/// * Eq. (3):  s^i has miners p_1..p_i at their final coins and the rest
+///   stacked on sf.p_i.
+/// * T_i (i ≥ 2): p_1..p_{i−1} final; each of p_i..p_n on either sf.p_i or
+///   sf.p_{i−1}.
+/// * m_i(s): the *mover* — the largest-indexed miner not yet on sf.p_i such
+///   that everyone after it already is; a_i(s) = m_i(s) − 1 is the
+///   *anchor*, whose power calibrates the designed reward of sf.p_i.
+
+namespace goc {
+
+/// s^i of Eq. (3). `stage` ∈ [1, n]; `sf` is the target equilibrium.
+Configuration intermediate_configuration(const Configuration& sf, std::size_t stage);
+
+/// s ∈ T_i membership (defined for stage ≥ 2).
+bool in_stage_set(const Configuration& s, const Configuration& sf,
+                  std::size_t stage);
+
+/// m_i(s) as a 1-based miner index (the paper's subscript), or nullopt when
+/// s == s^i (no mover needed). Requires s ∈ T_i.
+std::optional<std::size_t> mover_index(const Configuration& s,
+                                       const Configuration& sf, std::size_t stage);
+
+/// a_i(s) = m_i(s) − 1, 1-based. Requires a mover to exist.
+std::size_t anchor_index(const Configuration& s, const Configuration& sf,
+                         std::size_t stage);
+
+}  // namespace goc

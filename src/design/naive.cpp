@@ -1,0 +1,99 @@
+#include "design/naive.hpp"
+
+#include "core/moves.hpp"
+#include "dynamics/learning.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+namespace {
+
+/// Runs one learning phase and accumulates bookkeeping.
+Configuration learn_phase(const Game& game, Configuration start,
+                          Scheduler& scheduler, std::uint64_t max_steps,
+                          ManipulationResult& result) {
+  LearningOptions opts;
+  opts.max_steps = max_steps;
+  scheduler.reset();
+  LearningResult learned = run_learning(game, std::move(start), scheduler, opts);
+  GOC_ASSERT(learned.converged, "learning failed to converge under step cap");
+  result.learning_steps += learned.steps;
+  ++result.iterations;
+  return std::move(learned.final_configuration);
+}
+
+}  // namespace
+
+ManipulationResult naive_proportional_pump(const Game& game,
+                                           const Configuration& s0,
+                                           const Configuration& sf,
+                                           Scheduler& scheduler,
+                                           std::uint64_t max_steps) {
+  GOC_CHECK_ARG(is_equilibrium(game, s0), "s0 must be an equilibrium of F");
+  GOC_CHECK_ARG(is_equilibrium(game, sf), "sf must be an equilibrium of F");
+  ManipulationResult result{/*success=*/false, /*final_configuration=*/s0,
+                            /*iterations=*/0, /*learning_steps=*/0,
+                            /*total_cost=*/Rational(0),
+                            /*method=*/"proportional-pump"};
+
+  const Rational level =
+      Rational(2) * game.rewards().max_reward() / game.system().min_power();
+  std::vector<Rational> pumped = game.rewards().values();
+  for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+    const CoinId coin(c);
+    if (sf.empty_coin(coin)) continue;
+    const Rational target_weight = level * sf.mass(coin);
+    if (target_weight > pumped[c]) pumped[c] = target_weight;
+  }
+  const Game pumped_game = game.with_rewards(RewardFunction(pumped));
+  result.total_cost += pumped_game.rewards().overpayment(game.rewards());
+
+  Configuration s = learn_phase(pumped_game, s0, scheduler, max_steps, result);
+  s = learn_phase(game, std::move(s), scheduler, max_steps, result);
+
+  result.success = (s == sf);
+  result.final_configuration = std::move(s);
+  return result;
+}
+
+ManipulationResult naive_deficit_pump(const Game& game, const Configuration& s0,
+                                      const Configuration& sf,
+                                      Scheduler& scheduler, std::int64_t factor,
+                                      std::size_t max_rounds,
+                                      std::uint64_t max_steps) {
+  GOC_CHECK_ARG(factor >= 2, "pump factor must be at least 2");
+  GOC_CHECK_ARG(is_equilibrium(game, s0), "s0 must be an equilibrium of F");
+  GOC_CHECK_ARG(is_equilibrium(game, sf), "sf must be an equilibrium of F");
+  ManipulationResult result{/*success=*/false, /*final_configuration=*/s0,
+                            /*iterations=*/0, /*learning_steps=*/0,
+                            /*total_cost=*/Rational(0),
+                            /*method=*/"deficit-pump"};
+
+  Configuration s = s0;
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    if (s == sf) break;
+    // Largest mass deficit vs the target equilibrium.
+    std::optional<CoinId> worst;
+    Rational worst_deficit(0);
+    for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+      const CoinId coin(c);
+      const Rational deficit = sf.mass(coin) - s.mass(coin);
+      if (deficit > worst_deficit) {
+        worst_deficit = deficit;
+        worst = coin;
+      }
+    }
+    if (!worst) break;  // no coin is under target; greedy signal exhausted
+    const RewardFunction pumped =
+        game.rewards().with(*worst, game.rewards()(*worst) * Rational(factor));
+    const Game pumped_game = game.with_rewards(pumped);
+    result.total_cost += pumped.overpayment(game.rewards());
+    s = learn_phase(pumped_game, std::move(s), scheduler, max_steps, result);
+  }
+  s = learn_phase(game, std::move(s), scheduler, max_steps, result);
+
+  result.success = (s == sf);
+  result.final_configuration = std::move(s);
+  return result;
+}
+
+}  // namespace goc

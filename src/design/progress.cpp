@@ -1,0 +1,31 @@
+#include "design/progress.hpp"
+
+#include "design/intermediate.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+std::vector<bool> progress_vector(const Configuration& s, const Configuration& sf,
+                                  std::size_t stage) {
+  GOC_CHECK_ARG(in_stage_set(s, sf, stage), "progress_vector requires s ∈ T_i");
+  const std::size_t n = s.num_miners();
+  const CoinId coin_i = sf.of(MinerId(static_cast<std::uint32_t>(stage - 1)));
+  std::vector<bool> vec;
+  vec.reserve(n - stage + 2);
+  // Paper: vec(s)[j] = 1 iff p_{j+i−1} ∈ P_{sf.p_i}(s), j = 1..n−i+1.
+  for (std::size_t k = stage; k <= n; ++k) {
+    const MinerId p(static_cast<std::uint32_t>(k - 1));
+    vec.push_back(s.of(p) == coin_i);
+  }
+  return vec;
+}
+
+bool progress_less(const std::vector<bool>& a, const std::vector<bool>& b) {
+  GOC_CHECK_ARG(a.size() == b.size(), "progress vectors of different stages");
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return b[i];  // first difference: a < b iff b has the 1
+  }
+  return false;
+}
+
+}  // namespace goc

@@ -1,0 +1,26 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/configuration.hpp"
+
+/// \file progress.hpp
+/// The termination measure of Theorem 2: for s ∈ T_i, vec(s) is the binary
+/// vector whose j-th entry (1-based, j ≤ n−i+1) records whether miner
+/// p_{j+i−1} already sits on sf.p_i. Each loop iteration of stage i
+/// strictly increases vec(s) in lexicographic order (the mover gets placed
+/// while everything before it is frozen), so stages finish in finitely many
+/// iterations. Exposed for the design driver's audit mode and for benches
+/// reporting per-stage progress.
+
+namespace goc {
+
+/// vec(s) for stage i (defined for stage ≥ 2; requires s ∈ T_i).
+std::vector<bool> progress_vector(const Configuration& s, const Configuration& sf,
+                                  std::size_t stage);
+
+/// Lexicographic strict comparison: a < b.
+bool progress_less(const std::vector<bool>& a, const std::vector<bool>& b);
+
+}  // namespace goc

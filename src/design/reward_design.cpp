@@ -1,0 +1,137 @@
+#include "design/reward_design.hpp"
+
+#include <sstream>
+
+#include "core/moves.hpp"
+#include "design/intermediate.hpp"
+#include "design/progress.hpp"
+#include "design/stage_rewards.hpp"
+#include "dynamics/learning.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+std::string StageRecord::to_string() const {
+  std::ostringstream os;
+  os << "stage " << stage << ": iterations=" << iterations
+     << " steps=" << learning_steps << " cost=" << stage_cost.to_string()
+     << " peak=" << peak_overpayment.to_string();
+  return os.str();
+}
+
+namespace {
+
+/// Audit: in GΠ,C,H_i(s) at s, the unique better response is the mover
+/// moving to the stage target (first claim in the proof of Lemma 1).
+void audit_unique_first_step(const Game& designed, const Configuration& s,
+                             const Configuration& sf, std::size_t stage) {
+  const auto mover = mover_index(s, sf, stage);
+  GOC_ASSERT(mover.has_value(), "audit at s == s^i");
+  const MinerId expected_miner(static_cast<std::uint32_t>(*mover - 1));
+  const CoinId target = sf.of(MinerId(static_cast<std::uint32_t>(stage - 1)));
+  const auto moves = all_better_response_moves(designed, s);
+  GOC_ASSERT(moves.size() == 1,
+             "designed game must admit exactly one better-response move");
+  GOC_ASSERT(moves.front().miner == expected_miner && moves.front().to == target,
+             "the unique better response must be the mover to the stage target");
+}
+
+/// Audit: Lemma 1 items 1–2 plus T_i membership and Φ_i ascent.
+void audit_learning_outcome(const Configuration& before,
+                            const Configuration& after, const Configuration& sf,
+                            std::size_t stage) {
+  GOC_ASSERT(in_stage_set(after, sf, stage),
+             "learning escaped T_i during a design stage");
+  const auto mover = mover_index(before, sf, stage);
+  GOC_ASSERT(mover.has_value(), "audit at s == s^i");
+  for (std::size_t k = 1; k < *mover; ++k) {
+    const MinerId p(static_cast<std::uint32_t>(k - 1));
+    GOC_ASSERT(after.of(p) == before.of(p),
+               "Lemma 1(1) violated: a pre-mover miner moved");
+  }
+  const MinerId mover_id(static_cast<std::uint32_t>(*mover - 1));
+  const CoinId target = sf.of(MinerId(static_cast<std::uint32_t>(stage - 1)));
+  GOC_ASSERT(after.of(mover_id) == target,
+             "Lemma 1(2) violated: the mover is not at the stage target");
+  GOC_ASSERT(progress_less(progress_vector(before, sf, stage),
+                           progress_vector(after, sf, stage)),
+             "Theorem 2 violated: progress vector did not increase");
+}
+
+}  // namespace
+
+DesignResult run_reward_design(const Game& game, const Configuration& s0,
+                               const Configuration& sf, Scheduler& scheduler,
+                               const DesignOptions& options) {
+  const System& system = game.system();
+  GOC_CHECK_ARG(game.access().is_unrestricted(),
+                "reward design assumes every miner can reach every coin "
+                "(the asymmetric case is open — paper §6)");
+  GOC_CHECK_ARG(system.strictly_decreasing_powers(),
+                "Section 5 requires strictly decreasing miner powers");
+  GOC_CHECK_ARG(&s0.system() == &system && &sf.system() == &system,
+                "configurations must live on the game's system");
+  GOC_CHECK_ARG(is_equilibrium(game, s0), "s0 must be an equilibrium of F");
+  GOC_CHECK_ARG(is_equilibrium(game, sf), "sf must be an equilibrium of F");
+
+  DesignResult result{/*success=*/false, /*final_configuration=*/s0,
+                      /*stages=*/{},     /*total_iterations=*/0,
+                      /*total_learning_steps=*/0, /*total_cost=*/Rational(0),
+                      /*peak_overpayment=*/Rational(0)};
+  Configuration& current = result.final_configuration;
+
+  LearningOptions learn_opts;
+  learn_opts.max_steps = options.max_steps_per_learning;
+
+  const std::size_t n = system.num_miners();
+  for (std::size_t stage = 1; stage <= n; ++stage) {
+    const Configuration target = intermediate_configuration(sf, stage);
+    StageRecord record;
+    record.stage = stage;
+    record.stage_cost = Rational(0);
+    record.peak_overpayment = Rational(0);
+
+    while (!(current == target)) {
+      GOC_ASSERT(record.iterations < options.max_iterations_per_stage,
+                 "stage iteration cap exceeded");
+      ++record.iterations;
+
+      const RewardFunction designed_rewards =
+          stage_reward_function(game, sf, stage, current);
+      const Game designed = game.with_rewards(designed_rewards);
+      if (options.audit && stage >= 2) {
+        audit_unique_first_step(designed, current, sf, stage);
+      }
+
+      const Rational overpay = designed_rewards.overpayment(game.rewards());
+      record.stage_cost += overpay;
+      if (overpay > record.peak_overpayment) record.peak_overpayment = overpay;
+
+      const Configuration before = current;
+      scheduler.reset();
+      LearningResult learned = run_learning(designed, current, scheduler, learn_opts);
+      GOC_ASSERT(learned.converged,
+                 "better-response learning failed to converge (cap too low?)");
+      current = std::move(learned.final_configuration);
+      record.learning_steps += learned.steps;
+
+      if (options.audit && stage >= 2) {
+        audit_learning_outcome(before, current, sf, stage);
+      }
+    }
+
+    result.total_iterations += record.iterations;
+    result.total_learning_steps += record.learning_steps;
+    result.total_cost += record.stage_cost;
+    if (record.peak_overpayment > result.peak_overpayment) {
+      result.peak_overpayment = record.peak_overpayment;
+    }
+    result.stages.push_back(std::move(record));
+  }
+
+  result.success = (current == sf) && is_equilibrium(game, current);
+  GOC_ASSERT(result.success, "Algorithm 2 terminated away from sf");
+  return result;
+}
+
+}  // namespace goc

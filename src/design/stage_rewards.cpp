@@ -1,0 +1,69 @@
+#include "design/stage_rewards.hpp"
+
+#include "design/intermediate.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+Rational design_level(const Game& base, const Configuration& s) {
+  const Rational lambda =
+      Rational(2) * base.rewards().max_reward() / base.system().min_power();
+  Rational level = lambda;
+  for (std::uint32_t c = 0; c < base.num_coins(); ++c) {
+    const CoinId coin(c);
+    if (s.empty_coin(coin)) continue;
+    const Rational rpu = base.rewards()(coin) / s.mass(coin);
+    if (rpu > level) level = rpu;
+  }
+  return level;
+}
+
+RewardFunction stage_reward_function(const Game& base, const Configuration& sf,
+                                     std::size_t stage, const Configuration& s) {
+  const System& system = base.system();
+  GOC_CHECK_ARG(system.strictly_decreasing_powers(),
+                "Section 5 requires strictly decreasing miner powers");
+  GOC_CHECK_ARG(stage >= 1 && stage <= system.num_miners(),
+                "stage out of range [1, n]");
+
+  const RewardFunction& F = base.rewards();
+
+  if (stage == 1) {
+    // Eq. (5), robustified: joining the target yields at least
+    // m_p·K/Σm = 2·maxF·(m_p/min m) ≥ 2·maxF, strictly above any payoff
+    // attainable elsewhere (u_p ≤ F(s.p) ≤ maxF).
+    const CoinId target = sf.of(MinerId(0));
+    const Rational boosted = Rational(2) * F.max_reward() *
+                             system.total_power() / system.min_power();
+    RewardFunction designed = F.with(target, boosted);
+    GOC_ASSERT(designed.dominates(F), "H_1 must dominate F");
+    return designed;
+  }
+
+  // Eq. (4), robustified.
+  const auto mover = mover_index(s, sf, stage);
+  GOC_CHECK_ARG(mover.has_value(),
+                "stage reward function undefined at s == s^i");
+  const std::size_t anchor = anchor_index(s, sf, stage);
+  const Rational& anchor_power =
+      system.power(MinerId(static_cast<std::uint32_t>(anchor - 1)));
+  const CoinId target = sf.of(MinerId(static_cast<std::uint32_t>(stage - 1)));
+  const Rational level = design_level(base, s);
+
+  std::vector<Rational> rewards(base.num_coins());
+  for (std::uint32_t c = 0; c < base.num_coins(); ++c) {
+    const CoinId coin(c);
+    if (coin == target) {
+      rewards[c] = level * (s.mass(coin) + anchor_power);
+    } else if (!s.empty_coin(coin)) {
+      rewards[c] = level * s.mass(coin);
+    } else {
+      rewards[c] = F(coin);
+    }
+  }
+  RewardFunction designed(std::move(rewards));
+  GOC_ASSERT(designed.dominates(F), "H_i must dominate F");
+  return designed;
+}
+
+}  // namespace goc

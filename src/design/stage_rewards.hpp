@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstddef>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+/// \file stage_rewards.hpp
+/// The reward design functions H_i of Section 5.1 (Eqs. 4–5), robustified
+/// for empty coins and sub-unit powers as described in DESIGN.md §2.2:
+///
+///  * `design_level` R̂(s) = max(max_{occupied c} RPU_c(s), λ) with
+///    λ = 2·max_c F(c) / min_p m_p. Any uniform level ≥ the occupied
+///    maximum preserves the Lemma 1 proof; the λ floor guarantees
+///    m_p·R̂ > F(c'') for every miner and coin, so nobody ever defects to a
+///    coin outside the stage's pair.
+///  * Stage i ≥ 2 (Eq. 4): H(c) = R̂·M_c(s) for occupied c ≠ target;
+///    H(target) = R̂·(M_target(s) + m_anchor); empty coins keep F.
+///  * Stage 1 (Eq. 5): the target coin sf.p_1 gets 2·max F·Σm / min m —
+///    enough that joining it strictly improves any miner from anywhere —
+///    and every other coin keeps F.
+///
+/// Every H_i produced here pointwise dominates F (the admissibility
+/// condition of Algorithm 1, asserted in code).
+
+namespace goc {
+
+/// R̂(s) for the base game; see above. `s` must have ≥ 1 occupied coin
+/// (always true — miners always mine something).
+Rational design_level(const Game& base, const Configuration& s);
+
+/// H_i(s). `stage` ∈ [1, n]; for stage ≥ 2, `s` must lie in T_i \ {s^i}.
+/// Miners must be indexed in strictly decreasing power order.
+RewardFunction stage_reward_function(const Game& base, const Configuration& sf,
+                                     std::size_t stage, const Configuration& s);
+
+}  // namespace goc

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+/// \file improvement_graph.hpp
+/// Exhaustive analysis of the better-response graph on small games.
+///
+/// Theorem 1 makes the improvement graph a DAG (the ordinal potential
+/// strictly increases along every edge), so the *longest improving path*
+/// is well defined — it is the worst-case convergence time over all
+/// schedulers and all starting configurations, the quantity the paper's
+/// Discussion (§6) asks about. Exponential in n·log|C|; intended for the
+/// small instances of experiments E3/E7.
+
+namespace goc {
+
+struct ImprovementGraphStats {
+  std::uint64_t configurations = 0;   ///< |C|^n (access-respecting only)
+  std::uint64_t equilibria = 0;       ///< DAG sinks
+  std::uint64_t edges = 0;            ///< better-response moves
+  std::uint64_t longest_path = 0;     ///< worst-case steps to equilibrium
+};
+
+/// Walks the full improvement graph; throws std::invalid_argument when
+/// |C|^n exceeds `max_configs`.
+ImprovementGraphStats analyze_improvement_graph(const Game& game,
+                                                std::uint64_t max_configs = 1u << 20);
+
+/// Longest improving path starting from `s` specifically.
+std::uint64_t longest_path_from(const Game& game, const Configuration& s,
+                                std::uint64_t max_configs = 1u << 20);
+
+}  // namespace goc

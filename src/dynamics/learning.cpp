@@ -1,0 +1,113 @@
+#include "dynamics/learning.hpp"
+
+#include "core/moves.hpp"
+#include "potential/list_potential.hpp"
+#include "potential/observations.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+LearningResult run_learning(const Game& game, Configuration start,
+                            Scheduler& scheduler, const LearningOptions& options) {
+  GOC_CHECK_ARG(&start.system() == &game.system(),
+                "configuration belongs to a different system");
+  GOC_CHECK_ARG(game.respects_access(start),
+                "start configuration violates the game's access policy");
+  LearningResult result{std::move(start), 0, false, Trace{}};
+  Configuration& s = result.final_configuration;
+
+  const bool keep_moves = options.record_moves || options.record_configurations;
+  if (options.record_configurations) result.trace.set_start(s);
+
+  PotentialKey prev_key;
+  if (options.audit_potential) prev_key = potential_key(game, s);
+
+  while (result.steps < options.max_steps) {
+    const auto move = scheduler.pick(game, s);
+    if (!move) {
+      result.converged = true;
+      break;
+    }
+    GOC_ASSERT(move->from == s.of(move->miner),
+               "scheduler produced a move that does not apply");
+    GOC_ASSERT(move->gain.is_positive(),
+               "scheduler produced a non-improving move");
+    if (options.audit_potential) {
+      GOC_ASSERT(observation1_holds(game, s, *move),
+                 "Observation 1 violated: mover descended in list(s)");
+      GOC_ASSERT(observation2_holds(game, s, *move),
+                 "Observation 2 violated: RPU did not rise on both coins");
+    }
+    s.move(move->miner, move->to);
+    ++result.steps;
+    if (keep_moves) {
+      result.trace.add_step(
+          *move, options.record_configurations ? &s : nullptr);
+    }
+    if (options.audit_potential) {
+      PotentialKey key = potential_key(game, s);
+      GOC_ASSERT(prev_key < key,
+                 "Theorem 1 violated: ordinal potential did not increase");
+      prev_key = std::move(key);
+    }
+  }
+  if (!result.converged) {
+    // Cap hit — distinguish "still improving" from "converged on the nose".
+    result.converged = is_equilibrium(game, s);
+  }
+  return result;
+}
+
+LearningResult run_learning_to_epsilon(const Game& game, Configuration start,
+                                       const Rational& epsilon,
+                                       const LearningOptions& options) {
+  GOC_CHECK_ARG(!epsilon.is_negative(), "epsilon must be nonnegative");
+  GOC_CHECK_ARG(&start.system() == &game.system(),
+                "configuration belongs to a different system");
+  GOC_CHECK_ARG(game.respects_access(start),
+                "start configuration violates the game's access policy");
+  LearningResult result{std::move(start), 0, false, Trace{}};
+  Configuration& s = result.final_configuration;
+  const bool keep_moves = options.record_moves || options.record_configurations;
+  if (options.record_configurations) result.trace.set_start(s);
+
+  while (result.steps < options.max_steps) {
+    // Globally maximal relative gain; ties toward lower miner/coin ids.
+    std::optional<Move> best;
+    Rational best_relative(0);
+    for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+      const MinerId miner(p);
+      const Rational current = game.payoff(s, miner);
+      const CoinId here = s.of(miner);
+      for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+        const CoinId coin(c);
+        if (coin == here || !game.can_mine(miner, coin)) continue;
+        const Rational after = game.payoff_if_move(s, miner, coin);
+        if (after <= current) continue;
+        const Rational relative = (after - current) / current;
+        if (!best || relative > best_relative) {
+          best = Move{miner, here, coin, after - current};
+          best_relative = relative;
+        }
+      }
+    }
+    if (!best || !(best_relative > epsilon)) {
+      result.converged = true;  // ε-equilibrium reached (exact when ε == 0)
+      break;
+    }
+    s.move(best->miner, best->to);
+    ++result.steps;
+    if (keep_moves) {
+      result.trace.add_step(*best,
+                            options.record_configurations ? &s : nullptr);
+    }
+  }
+  if (!result.converged) {
+    result.converged = is_epsilon_equilibrium(game, s, epsilon);
+  }
+  GOC_DASSERT(!result.converged || is_epsilon_equilibrium(game, s, epsilon),
+              "epsilon driver stopped away from an epsilon-equilibrium");
+  return result;
+}
+
+}  // namespace goc

@@ -1,0 +1,101 @@
+#include "dynamics/noisy.hpp"
+
+#include <cmath>
+#include <vector>
+
+#include "core/moves.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+namespace {
+
+NoisyResult finish(const Game& game, Configuration s,
+                   std::uint64_t steps, std::uint64_t checks,
+                   std::uint64_t equilibrium_visits) {
+  NoisyResult result{std::move(s), steps, false, 0.0};
+  result.ended_at_equilibrium = is_equilibrium(game, result.final_configuration);
+  if (checks > 0) {
+    result.equilibrium_visit_rate =
+        static_cast<double>(equilibrium_visits) / static_cast<double>(checks);
+  }
+  return result;
+}
+
+}  // namespace
+
+NoisyResult run_epsilon_noisy(const Game& game, Configuration start, Rng& rng,
+                              const NoisyOptions& options) {
+  GOC_CHECK_ARG(options.epsilon >= 0.0 && options.epsilon <= 1.0,
+                "epsilon must lie in [0,1]");
+  GOC_CHECK_ARG(options.equilibrium_check_stride >= 1, "stride must be >= 1");
+  Configuration s = std::move(start);
+  std::uint64_t equilibrium_visits = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t steps = 0;
+  for (; steps < options.max_steps; ++steps) {
+    const MinerId p(static_cast<std::uint32_t>(rng.next_below(game.num_miners())));
+    if (rng.bernoulli(options.epsilon)) {
+      const auto coins = game.allowed_coins(p);
+      s.move(p, coins[rng.pick_index(coins)]);
+    } else if (const auto target = best_response(game, s, p)) {
+      s.move(p, *target);
+    }
+    if (steps % options.equilibrium_check_stride == 0) {
+      ++checks;
+      if (is_equilibrium(game, s)) ++equilibrium_visits;
+    }
+  }
+  return finish(game, std::move(s), steps, checks, equilibrium_visits);
+}
+
+NoisyResult run_logit(const Game& game, Configuration start, Rng& rng,
+                      const NoisyOptions& options) {
+  GOC_CHECK_ARG(options.beta >= 0.0, "beta must be nonnegative");
+  GOC_CHECK_ARG(options.equilibrium_check_stride >= 1, "stride must be >= 1");
+  Configuration s = std::move(start);
+  std::uint64_t equilibrium_visits = 0;
+  std::uint64_t checks = 0;
+  std::uint64_t steps = 0;
+  std::vector<double> weights(game.num_coins());
+  for (; steps < options.max_steps; ++steps) {
+    const MinerId p(static_cast<std::uint32_t>(rng.next_below(game.num_miners())));
+    // Softmax over post-move payoffs of *allowed* coins, stabilized by the
+    // max exponent; forbidden coins get weight 0 regardless of β.
+    double max_u = -1e300;
+    std::vector<bool> allowed(game.num_coins());
+    for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+      allowed[c] = game.can_mine(p, CoinId(c));
+      if (!allowed[c]) {
+        weights[c] = 0.0;
+        continue;
+      }
+      const double u = game.payoff_if_move(s, p, CoinId(c)).to_double();
+      weights[c] = u;
+      max_u = std::max(max_u, u);
+    }
+    double total = 0.0;
+    for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+      if (!allowed[c]) continue;
+      weights[c] = std::exp(options.beta * (weights[c] - max_u));
+      total += weights[c];
+    }
+    double pick = rng.uniform01() * total;
+    // Numeric-edge fallback: stay put (always an allowed coin).
+    std::uint32_t chosen = s.of(p).value;
+    for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+      pick -= weights[c];
+      if (pick <= 0.0) {
+        chosen = c;
+        break;
+      }
+    }
+    s.move(p, CoinId(chosen));
+    if (steps % options.equilibrium_check_stride == 0) {
+      ++checks;
+      if (is_equilibrium(game, s)) ++equilibrium_visits;
+    }
+  }
+  return finish(game, std::move(s), steps, checks, equilibrium_visits);
+}
+
+}  // namespace goc

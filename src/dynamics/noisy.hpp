@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "util/rng.hpp"
+
+/// \file noisy.hpp
+/// Noisy response dynamics — the Discussion (§6) extension.
+///
+/// The paper's guarantees assume *strict* better responses. Real miners act
+/// on noisy profitability estimates (whattomine-style dashboards), which we
+/// model two ways:
+///  * ε-noisy better response: with probability ε the chosen miner moves to
+///    a uniformly random coin regardless of payoff; otherwise it takes a
+///    best response.
+///  * logit (quantal) response: the chosen miner moves to coin c with
+///    probability ∝ exp(β · u_p(s_{-p}, c)) over all coins.
+/// Neither is guaranteed to converge; the driver reports whether the
+/// trajectory was at an equilibrium when it stopped and how often it
+/// visited one (used by the scheduler-ablation bench).
+
+namespace goc {
+
+struct NoisyOptions {
+  std::uint64_t max_steps = 100000;
+  double epsilon = 0.05;  ///< ε-noisy mode: exploration probability
+  double beta = 50.0;     ///< logit mode: rationality (→∞ = best response)
+  /// Check equilibrium membership every k-th step for the dwell metric
+  /// (the check is O(n·|C|), the dominant cost on long horizons). 1 = exact.
+  std::uint64_t equilibrium_check_stride = 1;
+};
+
+struct NoisyResult {
+  Configuration final_configuration;
+  std::uint64_t steps = 0;
+  bool ended_at_equilibrium = false;
+  /// Fraction of *sampled* post-step states that were equilibria (sampled
+  /// every `equilibrium_check_stride` steps).
+  double equilibrium_visit_rate = 0.0;
+};
+
+/// ε-noisy better-response dynamics: each step picks a uniform miner; with
+/// probability ε it jumps to a uniform coin, otherwise it takes its best
+/// response (skipping its turn when stable). Stops early only if
+/// `stop_at_equilibrium` and ε == 0 semantics apply — with ε > 0 noise can
+/// always re-perturb, so the driver runs the full horizon.
+NoisyResult run_epsilon_noisy(const Game& game, Configuration start, Rng& rng,
+                              const NoisyOptions& options = {});
+
+/// Logit response dynamics with rationality β.
+NoisyResult run_logit(const Game& game, Configuration start, Rng& rng,
+                      const NoisyOptions& options = {});
+
+}  // namespace goc

@@ -1,0 +1,167 @@
+#include "dynamics/scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace goc {
+namespace {
+
+/// Builds the Move record for miner p moving to its best response.
+std::optional<Move> best_response_move(const Game& game, const Configuration& s,
+                                       MinerId p) {
+  const auto target = best_response(game, s, p);
+  if (!target) return std::nullopt;
+  return Move{p, s.of(p), *target, move_gain(game, s, p, *target)};
+}
+
+class RandomMoveScheduler final : public Scheduler {
+ public:
+  explicit RandomMoveScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  std::optional<Move> pick(const Game& game, const Configuration& s) override {
+    std::vector<Move> moves = all_better_response_moves(game, s);
+    if (moves.empty()) return std::nullopt;
+    return moves[rng_.pick_index(moves)];
+  }
+  std::string name() const override { return "random-move"; }
+
+ private:
+  Rng rng_;
+};
+
+class RandomMinerScheduler final : public Scheduler {
+ public:
+  explicit RandomMinerScheduler(std::uint64_t seed) : rng_(seed) {}
+
+  std::optional<Move> pick(const Game& game, const Configuration& s) override {
+    const std::vector<MinerId> unstable = unstable_miners(game, s);
+    if (unstable.empty()) return std::nullopt;
+    const MinerId p = unstable[rng_.pick_index(unstable)];
+    const std::vector<CoinId> options = better_responses(game, s, p);
+    GOC_ASSERT(!options.empty(), "unstable miner without better responses");
+    const CoinId to = options[rng_.pick_index(options)];
+    return Move{p, s.of(p), to, move_gain(game, s, p, to)};
+  }
+  std::string name() const override { return "random-miner"; }
+
+ private:
+  Rng rng_;
+};
+
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  std::optional<Move> pick(const Game& game, const Configuration& s) override {
+    const std::size_t n = game.num_miners();
+    for (std::size_t scanned = 0; scanned < n; ++scanned) {
+      const MinerId p(static_cast<std::uint32_t>(cursor_));
+      cursor_ = (cursor_ + 1) % n;
+      if (auto move = best_response_move(game, s, p)) return move;
+    }
+    return std::nullopt;
+  }
+  std::string name() const override { return "round-robin"; }
+  void reset() override { cursor_ = 0; }
+
+ private:
+  std::size_t cursor_ = 0;
+};
+
+/// Shared implementation for global gain-extremal schedulers.
+template <bool kMax>
+class GainExtremalScheduler final : public Scheduler {
+ public:
+  std::optional<Move> pick(const Game& game, const Configuration& s) override {
+    std::vector<Move> moves = all_better_response_moves(game, s);
+    if (moves.empty()) return std::nullopt;
+    const auto better = [](const Move& a, const Move& b) {
+      if (a.gain != b.gain) return kMax ? a.gain > b.gain : a.gain < b.gain;
+      if (a.miner != b.miner) return a.miner < b.miner;
+      return a.to < b.to;
+    };
+    return *std::min_element(moves.begin(), moves.end(),
+                             [&](const Move& a, const Move& b) {
+                               return better(a, b);
+                             });
+  }
+  std::string name() const override { return kMax ? "max-gain" : "min-gain"; }
+};
+
+/// Power-ordered schedulers: the heaviest (or lightest) unstable miner takes
+/// its best response; ties break on miner id.
+template <bool kLargest>
+class PowerOrderedScheduler final : public Scheduler {
+ public:
+  std::optional<Move> pick(const Game& game, const Configuration& s) override {
+    const std::vector<MinerId> unstable = unstable_miners(game, s);
+    if (unstable.empty()) return std::nullopt;
+    const System& system = game.system();
+    MinerId chosen = unstable.front();
+    for (const MinerId p : unstable) {
+      const bool strictly_better =
+          kLargest ? system.power(p) > system.power(chosen)
+                   : system.power(p) < system.power(chosen);
+      if (strictly_better) chosen = p;
+    }
+    return best_response_move(game, s, chosen);
+  }
+  std::string name() const override {
+    return kLargest ? "largest-first" : "smallest-first";
+  }
+};
+
+class LexicographicScheduler final : public Scheduler {
+ public:
+  std::optional<Move> pick(const Game& game, const Configuration& s) override {
+    for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+      const MinerId miner(p);
+      const std::vector<CoinId> options = better_responses(game, s, miner);
+      if (!options.empty()) {
+        const CoinId to = options.front();
+        return Move{miner, s.of(miner), to, move_gain(game, s, miner, to)};
+      }
+    }
+    return std::nullopt;
+  }
+  std::string name() const override { return "lexicographic"; }
+};
+
+}  // namespace
+
+const std::vector<SchedulerKind>& all_scheduler_kinds() {
+  static const std::vector<SchedulerKind> kinds = {
+      SchedulerKind::kRandomMove,   SchedulerKind::kRandomMiner,
+      SchedulerKind::kRoundRobin,   SchedulerKind::kMaxGain,
+      SchedulerKind::kMinGain,      SchedulerKind::kLargestFirst,
+      SchedulerKind::kSmallestFirst, SchedulerKind::kLexicographic};
+  return kinds;
+}
+
+std::string scheduler_kind_name(SchedulerKind kind) {
+  return make_scheduler(kind)->name();
+}
+
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed) {
+  switch (kind) {
+    case SchedulerKind::kRandomMove:
+      return std::make_unique<RandomMoveScheduler>(seed);
+    case SchedulerKind::kRandomMiner:
+      return std::make_unique<RandomMinerScheduler>(seed);
+    case SchedulerKind::kRoundRobin:
+      return std::make_unique<RoundRobinScheduler>();
+    case SchedulerKind::kMaxGain:
+      return std::make_unique<GainExtremalScheduler<true>>();
+    case SchedulerKind::kMinGain:
+      return std::make_unique<GainExtremalScheduler<false>>();
+    case SchedulerKind::kLargestFirst:
+      return std::make_unique<PowerOrderedScheduler<true>>();
+    case SchedulerKind::kSmallestFirst:
+      return std::make_unique<PowerOrderedScheduler<false>>();
+    case SchedulerKind::kLexicographic:
+      return std::make_unique<LexicographicScheduler>();
+  }
+  GOC_ASSERT(false, "unknown scheduler kind");
+  return nullptr;
+}
+
+}  // namespace goc

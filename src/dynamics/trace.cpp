@@ -1,0 +1,37 @@
+#include "dynamics/trace.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+void Trace::add_step(const Move& move, const Configuration* after) {
+  moves_.push_back(move);
+  if (after != nullptr) {
+    GOC_CHECK_ARG(!configurations_.empty(),
+                  "set_start must precede snapshot recording");
+    configurations_.push_back(*after);
+  }
+}
+
+Table Trace::to_table() const {
+  Table table({"step", "miner", "from", "to", "gain"});
+  for (std::size_t i = 0; i < moves_.size(); ++i) {
+    const Move& m = moves_[i];
+    table.row() << i << m.miner.to_string() << m.from.to_string()
+                << m.to.to_string() << m.gain.to_string();
+  }
+  return table;
+}
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < moves_.size(); ++i) {
+    if (i != 0) os << "; ";
+    os << moves_[i].to_string();
+  }
+  return os.str();
+}
+
+}  // namespace goc

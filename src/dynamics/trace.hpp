@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/moves.hpp"
+#include "util/table.hpp"
+
+/// \file trace.hpp
+/// Recording of better-response trajectories for auditing and reporting.
+///
+/// A trace stores the move sequence and (optionally) every intermediate
+/// configuration, letting tests replay Theorem 1's potential-ascent
+/// argument step by step and letting benches export migration time series.
+
+namespace goc {
+
+class Trace {
+ public:
+  Trace() = default;
+
+  /// `start` must be provided before steps when configurations are kept.
+  void set_start(const Configuration& start) { configurations_ = {start}; }
+
+  /// Appends a step; when `after` is non-null the configuration snapshot is
+  /// kept as well.
+  void add_step(const Move& move, const Configuration* after);
+
+  const std::vector<Move>& moves() const noexcept { return moves_; }
+
+  /// Snapshots including the start configuration; empty when snapshots were
+  /// not recorded. `configurations()[k]` is the state *before* move k.
+  const std::vector<Configuration>& configurations() const noexcept {
+    return configurations_;
+  }
+
+  std::size_t size() const noexcept { return moves_.size(); }
+  bool empty() const noexcept { return moves_.empty(); }
+
+  /// step | miner | from | to | gain table.
+  Table to_table() const;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Move> moves_;
+  std::vector<Configuration> configurations_;
+};
+
+}  // namespace goc

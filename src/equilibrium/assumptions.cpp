@@ -1,0 +1,103 @@
+#include "equilibrium/assumptions.hpp"
+
+#include <sstream>
+#include <unordered_set>
+#include <vector>
+
+#include "core/enumerate.hpp"
+#include "core/moves.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+std::string NeverAloneViolation::to_string() const {
+  std::ostringstream os;
+  os << "never-alone violated at " << s.to_string() << " for coin "
+     << coin.to_string();
+  return os.str();
+}
+
+std::string GenericityViolation::to_string() const {
+  std::ostringstream os;
+  os << "genericity violated: F(" << c.to_string() << ")/" << subset_sum.to_string()
+     << " == F(" << c_prime.to_string() << ")/" << subset_sum_prime.to_string();
+  return os.str();
+}
+
+std::optional<CoinId> never_alone_violation_at(const Game& game,
+                                               const Configuration& s) {
+  for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+    const CoinId coin(c);
+    if (s.population(coin) > 1) continue;
+    bool someone_wants_in = false;
+    for (std::uint32_t p = 0; p < game.num_miners() && !someone_wants_in; ++p) {
+      const MinerId miner(p);
+      if (s.of(miner) == coin) continue;
+      if (is_better_response(game, s, miner, coin)) someone_wants_in = true;
+    }
+    if (!someone_wants_in) return coin;
+  }
+  return std::nullopt;
+}
+
+std::optional<NeverAloneViolation> find_never_alone_violation(
+    const Game& game, std::uint64_t max_configs) {
+  std::optional<NeverAloneViolation> violation;
+  for_each_configuration(game.system_ptr(), max_configs,
+                         [&](const Configuration& s) {
+                           if (const auto coin = never_alone_violation_at(game, s)) {
+                             violation = NeverAloneViolation{s, *coin};
+                             return false;
+                           }
+                           return true;
+                         });
+  return violation;
+}
+
+std::optional<GenericityViolation> find_genericity_violation(
+    const Game& game, std::size_t max_miners) {
+  const std::size_t n = game.num_miners();
+  GOC_CHECK_ARG(n <= max_miners,
+                "genericity check is exponential in the number of miners");
+
+  // All 2^n − 1 nonempty subset sums of the powers.
+  std::vector<Rational> sums;
+  sums.reserve((static_cast<std::size_t>(1) << n) - 1);
+  for (std::uint64_t mask = 1; mask < (1ULL << n); ++mask) {
+    // Incremental: sum(mask) = sum(mask without lowest bit) + power(lowest).
+    const std::uint64_t low = mask & (~mask + 1);
+    const std::uint64_t rest = mask ^ low;
+    const std::uint32_t bit = static_cast<std::uint32_t>(__builtin_ctzll(low));
+    Rational sum = game.system().power(MinerId(bit));
+    if (rest != 0) sum += sums[rest - 1];
+    sums.push_back(std::move(sum));
+  }
+
+  std::unordered_set<Rational> sum_set(sums.begin(), sums.end());
+
+  for (std::uint32_t ci = 0; ci < game.num_coins(); ++ci) {
+    for (std::uint32_t cj = ci + 1; cj < game.num_coins(); ++cj) {
+      const CoinId c(ci), c_prime(cj);
+      // F(c)/s == F(c')/s'  ⟺  s' == s·F(c')/F(c).
+      const Rational ratio = game.rewards()(c_prime) / game.rewards()(c);
+      for (const Rational& s : sums) {
+        Rational candidate;
+        try {
+          candidate = s * ratio;
+        } catch (const OverflowError&) {
+          continue;  // product out of range cannot equal a stored sum
+        }
+        if (sum_set.count(candidate) != 0) {
+          return GenericityViolation{c, c_prime, s, candidate};
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool is_generic(const Game& game, std::size_t max_miners) {
+  return !find_genericity_violation(game, max_miners).has_value();
+}
+
+}  // namespace goc

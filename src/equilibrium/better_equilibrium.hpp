@@ -1,0 +1,50 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+/// \file better_equilibrium.hpp
+/// Section 4: "there is often a better equilibrium".
+///
+/// Under Assumptions 1–2, Proposition 2 states that for every equilibrium s
+/// there is a miner p and another equilibrium s' with u_p(s') > u_p(s) — so
+/// some miner always has an incentive to move the system (the motivation
+/// for the reward-design mechanism of Section 5). The proof constructs two
+/// distinct equilibria (Lemma 2) and applies the welfare identity of
+/// Observation 3 (Claim 4).
+
+namespace goc {
+
+/// Claim 7: with p, p' on the same coin and m_p ≤ m_{p'}, stability of p
+/// implies stability of p'. Exposed as a checkable predicate for tests.
+bool claim7_implies_stable(const Game& game, const Configuration& s, MinerId p,
+                           MinerId p_prime);
+
+/// The Lemma 2 construction: two configurations built by seating the two
+/// largest miners on the two heaviest coins in opposite orders and greedily
+/// inserting everyone else (Claim 5). The two configurations always differ;
+/// under Assumptions 1–2 both are equilibria (callers can verify with
+/// is_equilibrium). Requires at least two miners and two coins.
+std::pair<Configuration, Configuration> lemma2_two_configurations(const Game& game);
+
+/// A Claim 4 witness: a miner strictly better off in another equilibrium.
+struct BetterEquilibriumWitness {
+  MinerId miner;
+  Configuration better;   ///< equilibrium where `miner` gains
+  Rational payoff_before;
+  Rational payoff_after;  ///< > payoff_before
+};
+
+/// Searches `equilibria` for a witness improving on `s` (which must itself
+/// be an equilibrium in the list's game). Returns the witness with the
+/// largest payoff gain, or nullopt if `s` is payoff-maximal for every miner
+/// across `equilibria`.
+std::optional<BetterEquilibriumWitness> find_better_equilibrium(
+    const Game& game, const Configuration& s,
+    const std::vector<Configuration>& equilibria);
+
+}  // namespace goc

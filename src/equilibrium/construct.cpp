@@ -1,0 +1,54 @@
+#include "equilibrium/construct.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+CoinId best_insertion_coin(const RewardFunction& rewards,
+                           const std::vector<Rational>& masses,
+                           const Rational& power) {
+  GOC_CHECK_ARG(masses.size() == rewards.num_coins(),
+                "mass vector arity must match the coin set");
+  GOC_CHECK_ARG(power.is_positive(), "joining power must be positive");
+  CoinId best(0);
+  // Maximizing F(c)·m/(M_c+m) over c is maximizing F(c)/(M_c+m).
+  Rational best_value = rewards(CoinId(0)) / (masses[0] + power);
+  for (std::uint32_t c = 1; c < rewards.num_coins(); ++c) {
+    const Rational value = rewards(CoinId(c)) / (masses[c] + power);
+    if (value > best_value) {
+      best_value = value;
+      best = CoinId(c);
+    }
+  }
+  return best;
+}
+
+Configuration greedy_equilibrium(const Game& game) {
+  // Claim 6's stability-preservation argument compares miners across a
+  // common action set; with player-specific access the construction can
+  // leave earlier miners unstable. Restricted games obtain equilibria via
+  // better-response learning instead (which always terminates, Theorem 1).
+  GOC_CHECK_ARG(game.access().is_unrestricted(),
+                "greedy_equilibrium requires the unrestricted access policy");
+  const System& system = game.system();
+  std::vector<std::size_t> order(system.num_miners());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return system.powers()[a] > system.powers()[b];
+  });
+
+  std::vector<Rational> masses(system.num_coins(), Rational(0));
+  std::vector<CoinId> assignment(system.num_miners());
+  for (const std::size_t idx : order) {
+    const Rational& m = system.powers()[idx];
+    const CoinId c = best_insertion_coin(game.rewards(), masses, m);
+    assignment[idx] = c;
+    masses[c.value] += m;
+  }
+  return Configuration(game.system_ptr(), std::move(assignment));
+}
+
+}  // namespace goc

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+/// \file construct.hpp
+/// Constructive equilibrium existence (Appendix A, Proposition 3).
+///
+/// Order miners by non-increasing power and insert them one at a time, each
+/// picking the coin maximizing its post-insertion payoff
+/// argmax_c F(c)·m/(M_c + m). Claim 6 shows each insertion preserves the
+/// stability of everyone already placed, so the result is a pure
+/// equilibrium of the full game — for *any* Π, C, F.
+
+namespace goc {
+
+/// Builds the greedy equilibrium. The game's miners may be in any order;
+/// internally they are processed in non-increasing power order (stable on
+/// miner id) and the result is expressed on the original miner indexing.
+/// Ties in the argmax break toward the lowest coin id (deterministic).
+Configuration greedy_equilibrium(const Game& game);
+
+/// The greedy placement step of Claim 6: the coin maximizing
+/// F(c)·m/(masses[c]+m) for a joining miner of power `m` against the
+/// aggregate masses of the already-placed miners. Exposed for the Lemma 2
+/// two-equilibria construction and for tests.
+CoinId best_insertion_coin(const RewardFunction& rewards,
+                           const std::vector<Rational>& masses,
+                           const Rational& power);
+
+}  // namespace goc

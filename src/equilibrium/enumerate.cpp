@@ -1,0 +1,62 @@
+#include "equilibrium/enumerate.hpp"
+
+#include <unordered_set>
+
+#include "core/enumerate.hpp"
+#include "core/generators.hpp"
+#include "core/moves.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+std::vector<Configuration> enumerate_equilibria(const Game& game,
+                                                std::uint64_t max_configs) {
+  std::vector<Configuration> out;
+  for_each_configuration(game.system_ptr(), max_configs,
+                         [&](const Configuration& s) {
+                           if (game.respects_access(s) && is_equilibrium(game, s)) {
+                             out.push_back(s);
+                           }
+                           return true;
+                         });
+  return out;
+}
+
+std::vector<Configuration> sample_equilibria(const Game& game, Rng& rng,
+                                             std::size_t attempts,
+                                             std::uint64_t max_steps_per_attempt) {
+  std::vector<Configuration> out;
+  // Hashes screen candidates; exact comparison confirms (collision-safe).
+  std::unordered_multiset<std::size_t> seen_hashes;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    // Random start, then random-unstable-miner best responses. Theorem 1
+    // guarantees convergence of any such improving path.
+    Configuration s = random_configuration(game, rng);
+    for (std::uint64_t step = 0; step < max_steps_per_attempt; ++step) {
+      const std::vector<MinerId> unstable = unstable_miners(game, s);
+      if (unstable.empty()) break;
+      const MinerId p = unstable[rng.pick_index(unstable)];
+      const auto target = best_response(game, s, p);
+      GOC_ASSERT(target.has_value(), "unstable miner without a best response");
+      s.move(p, *target);
+    }
+    GOC_ASSERT(is_equilibrium(game, s),
+               "better-response learning failed to converge within the step cap");
+    bool duplicate = false;
+    if (seen_hashes.count(s.hash()) != 0) {
+      for (const auto& existing : out) {
+        if (existing == s) {
+          duplicate = true;
+          break;
+        }
+      }
+    }
+    if (!duplicate) {
+      seen_hashes.insert(s.hash());
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace goc

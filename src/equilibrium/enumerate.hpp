@@ -1,0 +1,34 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "util/rng.hpp"
+
+/// \file enumerate.hpp
+/// Finding *all* (or many) pure equilibria of a game.
+///
+/// Exhaustive enumeration walks the full C^n space and is only feasible for
+/// small games; sampled enumeration runs better-response learning from
+/// random starts (convergence guaranteed by Theorem 1) and deduplicates the
+/// reached equilibria — a sound but possibly incomplete method for large
+/// games. Section 4's experiments use the exhaustive form; benchmark sweeps
+/// use the sampled form.
+
+namespace goc {
+
+/// All pure equilibria in odometer order. Throws std::invalid_argument when
+/// |C|^n > max_configs.
+std::vector<Configuration> enumerate_equilibria(const Game& game,
+                                                std::uint64_t max_configs = 1u << 22);
+
+/// Distinct equilibria reached by best-response learning from `attempts`
+/// uniformly random starting configurations. Deduplicated by assignment;
+/// sound (every result is an equilibrium) but possibly incomplete.
+std::vector<Configuration> sample_equilibria(const Game& game, Rng& rng,
+                                             std::size_t attempts,
+                                             std::uint64_t max_steps_per_attempt = 1u << 20);
+
+}  // namespace goc

@@ -1,0 +1,79 @@
+#include "equilibrium/security.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+Rational domination_share(const Game& game, const Configuration& s, CoinId c) {
+  GOC_CHECK_ARG(&s.system() == &game.system(),
+                "configuration belongs to a different system");
+  GOC_CHECK_ARG(game.system().valid_coin(c), "unknown coin id");
+  if (s.empty_coin(c)) return Rational(0);
+  Rational best(0);
+  for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+    const MinerId miner(p);
+    if (s.of(miner) != c) continue;
+    const Rational& m = game.system().power(miner);
+    if (m > best) best = m;
+  }
+  return best / s.mass(c);
+}
+
+std::optional<MinerId> majority_controller(const Game& game,
+                                           const Configuration& s, CoinId c) {
+  GOC_CHECK_ARG(&s.system() == &game.system(),
+                "configuration belongs to a different system");
+  if (s.empty_coin(c)) return std::nullopt;
+  const Rational half = s.mass(c) / Rational(2);
+  for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+    const MinerId miner(p);
+    if (s.of(miner) != c) continue;
+    if (game.system().power(miner) > half) return miner;
+  }
+  return std::nullopt;
+}
+
+std::string SecurityReport::to_string() const {
+  std::ostringstream os;
+  os << "SecurityReport{occupied=" << occupied
+     << ", majority_controlled=" << majority_controlled << ", max_share=[";
+  for (std::size_t i = 0; i < max_share.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << max_share[i].to_string();
+  }
+  os << "]}";
+  return os.str();
+}
+
+SecurityReport security_report(const Game& game, const Configuration& s) {
+  SecurityReport report;
+  report.max_share.reserve(game.num_coins());
+  report.controller.reserve(game.num_coins());
+  for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+    const CoinId coin(c);
+    report.max_share.push_back(domination_share(game, s, coin));
+    report.controller.push_back(majority_controller(game, s, coin));
+    if (report.controller.back().has_value()) ++report.majority_controlled;
+    if (!s.empty_coin(coin)) ++report.occupied;
+  }
+  return report;
+}
+
+std::optional<DominationTarget> best_domination_target(
+    const Game& game, MinerId attacker,
+    const std::vector<Configuration>& equilibria) {
+  GOC_CHECK_ARG(game.system().valid_miner(attacker), "unknown miner id");
+  std::optional<DominationTarget> best;
+  for (const Configuration& eq : equilibria) {
+    const CoinId coin = eq.of(attacker);
+    const Rational share = game.system().power(attacker) / eq.mass(coin);
+    if (!best || share > best->attacker_share) {
+      best = DominationTarget{eq, coin, share};
+    }
+  }
+  return best;
+}
+
+}  // namespace goc

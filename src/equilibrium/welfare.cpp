@@ -1,0 +1,75 @@
+#include "equilibrium/welfare.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+Rational total_payoff(const Game& game, const Configuration& s) {
+  Rational sum(0);
+  for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+    sum += game.payoff(s, MinerId(p));
+  }
+  return sum;
+}
+
+Rational distributed_reward(const Game& game, const Configuration& s) {
+  Rational sum(0);
+  for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+    const CoinId coin(c);
+    if (!s.empty_coin(coin)) sum += game.rewards()(coin);
+  }
+  return sum;
+}
+
+bool globally_optimal(const Game& game, const Configuration& s) {
+  return distributed_reward(game, s) == game.rewards().total_reward();
+}
+
+std::vector<Rational> payoff_vector(const Game& game, const Configuration& s) {
+  std::vector<Rational> out;
+  out.reserve(game.num_miners());
+  for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+    out.push_back(game.payoff(s, MinerId(p)));
+  }
+  return out;
+}
+
+double rpu_fairness_index(const Game& game, const Configuration& s) {
+  // Jain index over x_p = u_p / m_p = RPU of p's coin.
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  const double n = static_cast<double>(game.num_miners());
+  for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+    const MinerId miner(p);
+    const double x =
+        (game.payoff(s, miner) / game.system().power(miner)).to_double();
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  return (sum * sum) / (n * sum_sq);
+}
+
+double rpu_spread(const Game& game, const Configuration& s) {
+  double lo = 0.0;
+  double hi = 0.0;
+  bool first = true;
+  for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+    const CoinId coin(c);
+    if (s.empty_coin(coin)) continue;
+    const double r = game.rpu(s, coin).to_double();
+    if (first) {
+      lo = hi = r;
+      first = false;
+    } else {
+      lo = std::min(lo, r);
+      hi = std::max(hi, r);
+    }
+  }
+  GOC_CHECK_ARG(!first, "rpu_spread of a configuration with no occupied coin");
+  return lo == 0.0 ? 1.0 : hi / lo;
+}
+
+}  // namespace goc

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+/// \file welfare.hpp
+/// Aggregate payoff metrics. Observation 3: at any equilibrium of a game
+/// satisfying Assumption 1, the miners' total payoff equals the total coin
+/// reward — equivalently, no coin is left unmined. These metrics quantify
+/// how far arbitrary configurations fall short, and how unevenly revenue is
+/// spread (used by the market simulator and benchmark reports).
+
+namespace goc {
+
+/// Σ_p u_p(s).
+Rational total_payoff(const Game& game, const Configuration& s);
+
+/// Σ_{c occupied} F(c) — the reward actually being divided.
+Rational distributed_reward(const Game& game, const Configuration& s);
+
+/// Observation 3 predicate: total payoff equals total reward (⟺ every coin
+/// is occupied). Holds at every equilibrium under Assumption 1.
+bool globally_optimal(const Game& game, const Configuration& s);
+
+/// Per-miner payoffs in miner-id order.
+std::vector<Rational> payoff_vector(const Game& game, const Configuration& s);
+
+/// Jain's fairness index over per-unit revenue (payoff/power): 1 when every
+/// miner earns the same RPU, → 1/n under maximal concentration. Computed in
+/// double (a reporting metric, not a game-theoretic predicate).
+double rpu_fairness_index(const Game& game, const Configuration& s);
+
+/// max RPU / min RPU over *occupied* coins, in double; 1.0 at perfectly
+/// even revenue. Infinity never occurs (occupied coins have finite RPU).
+double rpu_spread(const Game& game, const Configuration& s);
+
+}  // namespace goc

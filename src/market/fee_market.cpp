@@ -1,0 +1,47 @@
+#include "market/fee_market.hpp"
+
+#include "util/assert.hpp"
+
+namespace goc::market {
+
+FeeMarket::FeeMarket(double tx_per_hour, double fee_scale, double fee_shape)
+    : tx_per_hour_(tx_per_hour), fee_scale_(fee_scale), fee_shape_(fee_shape) {
+  GOC_CHECK_ARG(tx_per_hour >= 0.0, "tx rate must be nonnegative");
+  GOC_CHECK_ARG(fee_scale > 0.0, "fee scale must be positive");
+  GOC_CHECK_ARG(fee_shape > 1.0, "fee shape must exceed 1 (finite mean)");
+}
+
+double FeeMarket::accrue(double dt_hours, Rng& rng) {
+  GOC_CHECK_ARG(dt_hours >= 0.0, "dt must be nonnegative");
+  // Poisson thinning: draw inter-arrival exponentials until the budget of
+  // dt hours is spent. Typical epochs carry tens to hundreds of arrivals.
+  double added = 0.0;
+  if (tx_per_hour_ > 0.0) {
+    double t = rng.exponential(tx_per_hour_);
+    while (t <= dt_hours) {
+      added += rng.pareto(fee_scale_, fee_shape_);
+      t += rng.exponential(tx_per_hour_);
+    }
+  }
+  pending_ += added;
+  return added;
+}
+
+void FeeMarket::inject_whale(double fee) {
+  GOC_CHECK_ARG(fee >= 0.0, "whale fee must be nonnegative");
+  pending_ += fee;
+  whale_total_ += fee;
+}
+
+double FeeMarket::collect() {
+  const double out = pending_;
+  pending_ = 0.0;
+  return out;
+}
+
+double FeeMarket::expected_hourly() const noexcept {
+  // Pareto(scale, shape) mean = scale·shape/(shape−1).
+  return tx_per_hour_ * fee_scale_ * fee_shape_ / (fee_shape_ - 1.0);
+}
+
+}  // namespace goc::market

@@ -1,0 +1,122 @@
+#include "market/market_sim.hpp"
+
+#include <algorithm>
+
+#include "core/moves.hpp"
+#include "util/assert.hpp"
+
+namespace goc::market {
+namespace {
+
+std::shared_ptr<const System> build_system(
+    const std::vector<std::int64_t>& powers, std::size_t num_coins) {
+  std::vector<Rational> rp;
+  rp.reserve(powers.size());
+  for (const auto v : powers) rp.emplace_back(v);
+  return std::make_shared<const System>(std::move(rp), num_coins);
+}
+
+}  // namespace
+
+MarketSimulator::MarketSimulator(std::vector<std::int64_t> miner_powers,
+                                 std::vector<CoinSpec> coins,
+                                 MarketOptions options)
+    : system_(build_system(miner_powers, coins.size())),
+      coins_(std::move(coins)),
+      options_(options),
+      rng_(options.seed),
+      scheduler_(make_scheduler(options.scheduler, options.seed ^ 0x5eedULL)),
+      config_(Configuration::all_at(system_, CoinId(0))) {
+  GOC_CHECK_ARG(!coins_.empty(), "market needs at least one coin");
+  GOC_CHECK_ARG(options_.epoch_hours > 0.0, "epoch length must be positive");
+  for (const CoinSpec& c : coins_) {
+    GOC_CHECK_ARG(c.price != nullptr, "every coin needs a price process");
+    GOC_CHECK_ARG(c.block_subsidy >= 0.0, "subsidy must be nonnegative");
+    GOC_CHECK_ARG(c.blocks_per_hour > 0.0, "block cadence must be positive");
+  }
+  // Start from the greedy assignment induced by initial weights: miners
+  // begin on the initially heaviest coin, then immediately adapt; this
+  // avoids an artificial all-on-coin-0 transient when coin 0 is minor.
+  std::size_t heaviest = 0;
+  double best = -1.0;
+  for (std::size_t c = 0; c < coins_.size(); ++c) {
+    const double w = coins_[c].price->price() *
+                     (coins_[c].block_subsidy * coins_[c].blocks_per_hour);
+    if (w > best) {
+      best = w;
+      heaviest = c;
+    }
+  }
+  config_ = Configuration::all_at(system_, CoinId(static_cast<std::uint32_t>(heaviest)));
+}
+
+void MarketSimulator::inject_whale(std::size_t coin, double fee) {
+  GOC_CHECK_ARG(coin < coins_.size(), "unknown coin index");
+  coins_[coin].fees.inject_whale(fee);
+}
+
+const Game& MarketSimulator::current_game() const {
+  GOC_CHECK_ARG(game_ != nullptr, "no epoch has run yet");
+  return *game_;
+}
+
+EpochRecord MarketSimulator::step_epoch(double t_hours) {
+  EpochRecord record;
+  record.t_hours = t_hours;
+  record.prices.resize(coins_.size());
+  record.weights.resize(coins_.size());
+  record.hashrate_share.resize(coins_.size());
+
+  // 1. Advance prices, accrue + collect fees, derive weights.
+  std::vector<Rational> weights(coins_.size());
+  for (std::size_t c = 0; c < coins_.size(); ++c) {
+    CoinSpec& coin = coins_[c];
+    const double price = coin.price->step(options_.epoch_hours, rng_);
+    coin.fees.accrue(options_.epoch_hours, rng_);
+    const double fees_native = coin.fees.collect();
+    const double subsidy_native =
+        coin.block_subsidy * coin.blocks_per_hour * options_.epoch_hours;
+    const double weight_fiat = (subsidy_native + fees_native) * price;
+    record.prices[c] = price;
+    record.weights[c] = weight_fiat;
+    // Quantize at the boundary; weights must stay positive for the game.
+    const double clamped = std::max(weight_fiat, 1e-9);
+    weights[c] = Rational::from_double(clamped, options_.weight_denominator);
+    if (!weights[c].is_positive()) weights[c] = Rational(1, 1000000);
+  }
+
+  // 2. Induced game and partial better-response adjustment.
+  game_ = std::make_unique<Game>(system_, RewardFunction(std::move(weights)));
+  const std::uint64_t cap = options_.br_steps_per_epoch == 0
+                                ? UINT64_MAX
+                                : options_.br_steps_per_epoch;
+  std::uint64_t steps = 0;
+  while (steps < cap) {
+    const auto move = scheduler_->pick(*game_, config_);
+    if (!move) break;
+    config_.move(move->miner, move->to);
+    ++steps;
+  }
+  record.br_steps = steps;
+  record.at_equilibrium = is_equilibrium(*game_, config_);
+
+  // 3. Hashrate shares.
+  const double total = system_->total_power().to_double();
+  for (std::size_t c = 0; c < coins_.size(); ++c) {
+    record.hashrate_share[c] =
+        config_.mass(CoinId(static_cast<std::uint32_t>(c))).to_double() / total;
+  }
+  return record;
+}
+
+std::vector<EpochRecord> MarketSimulator::run() {
+  std::vector<EpochRecord> records;
+  records.reserve(options_.epochs);
+  for (std::size_t e = 0; e < options_.epochs; ++e) {
+    const double t = static_cast<double>(e + 1) * options_.epoch_hours;
+    records.push_back(step_epoch(t));
+  }
+  return records;
+}
+
+}  // namespace goc::market

@@ -1,0 +1,107 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "dynamics/scheduler.hpp"
+#include "market/fee_market.hpp"
+#include "market/price_process.hpp"
+
+/// \file market_sim.hpp
+/// The multi-coin market simulator — the substrate for experiment E1/E2
+/// (Figure 1a/1b).
+///
+/// Each coin has an exchange-rate process, a fee market, and protocol
+/// constants (block subsidy, block cadence). Per epoch the simulator:
+///   1. advances every coin's price and accrues fees;
+///   2. derives the coin *weight* F(c) = (blocks/epoch × subsidy + fees) ×
+///      price — the paper's "reward the coin divides among its miners",
+///      quantized into exact rationals at the game boundary;
+///   3. lets the miner population take up to `br_steps_per_epoch`
+///      better-response steps in the induced game G_{Π,C,F} (partial
+///      adjustment: real miners do not instantly re-equilibrate);
+///   4. records prices, weights, hashrate shares and equilibrium status.
+///
+/// The output time series are exactly what Figure 1 plots: exchange rates
+/// (1a) and per-coin hashrate (1b).
+
+namespace goc::market {
+
+/// Static + dynamic description of one simulated coin.
+struct CoinSpec {
+  std::string name;
+  double block_subsidy = 12.5;    ///< native units per block
+  double blocks_per_hour = 6.0;   ///< protocol target cadence
+  std::unique_ptr<PriceProcess> price;
+  FeeMarket fees;
+
+  CoinSpec(std::string coin_name, double subsidy, double blocks_hour,
+           std::unique_ptr<PriceProcess> price_process, FeeMarket fee_market)
+      : name(std::move(coin_name)),
+        block_subsidy(subsidy),
+        blocks_per_hour(blocks_hour),
+        price(std::move(price_process)),
+        fees(std::move(fee_market)) {}
+};
+
+struct MarketOptions {
+  double epoch_hours = 1.0;
+  std::size_t epochs = 24 * 30;
+  /// Better-response steps allowed per epoch (partial adjustment). 0 means
+  /// "run to convergence every epoch".
+  std::uint64_t br_steps_per_epoch = 8;
+  SchedulerKind scheduler = SchedulerKind::kRandomMiner;
+  std::uint64_t seed = 2021;
+  /// Weight quantization denominator for Rational::from_double.
+  std::uint64_t weight_denominator = 1u << 20;
+};
+
+/// One epoch of recorded market state.
+struct EpochRecord {
+  double t_hours = 0.0;
+  std::vector<double> prices;           ///< per coin
+  std::vector<double> weights;          ///< per coin (fiat per epoch)
+  std::vector<double> hashrate_share;   ///< per coin, fraction of Σm
+  std::uint64_t br_steps = 0;           ///< steps actually taken this epoch
+  bool at_equilibrium = false;          ///< w.r.t. this epoch's weights
+};
+
+class MarketSimulator {
+ public:
+  /// `miner_powers` defines Π (positive integers, any order); one CoinSpec
+  /// per coin.
+  MarketSimulator(std::vector<std::int64_t> miner_powers,
+                  std::vector<CoinSpec> coins, MarketOptions options);
+
+  /// Runs the full horizon and returns one record per epoch. The first
+  /// record reflects the state after the first epoch.
+  std::vector<EpochRecord> run();
+
+  /// Injects a whale fee (native units) into `coin`'s pool before the next
+  /// epoch — the manipulation lever for the whale-attack example.
+  void inject_whale(std::size_t coin, double fee);
+
+  const Configuration& configuration() const noexcept { return config_; }
+  std::size_t num_coins() const noexcept { return coins_.size(); }
+  const CoinSpec& coin(std::size_t i) const { return coins_.at(i); }
+
+  /// The most recent epoch's game (weights as of that epoch). Valid after
+  /// at least one epoch has run.
+  const Game& current_game() const;
+
+ private:
+  EpochRecord step_epoch(double t_hours);
+
+  std::shared_ptr<const System> system_;
+  std::vector<CoinSpec> coins_;
+  MarketOptions options_;
+  Rng rng_;
+  std::unique_ptr<Scheduler> scheduler_;
+  Configuration config_;
+  std::unique_ptr<Game> game_;  // rebuilt each epoch with fresh weights
+};
+
+}  // namespace goc::market

@@ -1,0 +1,133 @@
+#include "pool/pool_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace goc::pool {
+
+PoolSimResult simulate_pool(const std::vector<double>& hashrates,
+                            RewardScheme& scheme, const PoolSimOptions& options) {
+  GOC_CHECK_ARG(!hashrates.empty(), "pool needs at least one member");
+  GOC_CHECK_ARG(options.duration_hours > 0.0, "duration must be positive");
+  GOC_CHECK_ARG(options.window_hours > 0.0, "window must be positive");
+  GOC_CHECK_ARG(options.shares_per_block >= 1.0,
+                "share difficulty must be at least 1");
+  double total_rate = 0.0;
+  for (const double h : hashrates) {
+    GOC_CHECK_ARG(h > 0.0, "hashrates must be positive");
+    total_rate += h;
+  }
+
+  Rng rng(options.seed);
+  scheme.begin(hashrates.size());
+  const double block_probability = 1.0 / options.shares_per_block;
+
+  PoolSimResult result;
+  result.members.resize(hashrates.size());
+
+  std::vector<RunningStats> window_income(hashrates.size());
+  std::vector<double> last_snapshot(hashrates.size(), 0.0);
+  double next_window = options.window_hours;
+
+  const auto close_window = [&] {
+    for (std::size_t i = 0; i < hashrates.size(); ++i) {
+      window_income[i].add(scheme.payouts()[i] - last_snapshot[i]);
+      last_snapshot[i] = scheme.payouts()[i];
+    }
+  };
+
+  double t = rng.exponential(total_rate);
+  while (t <= options.duration_hours) {
+    while (t > next_window) {
+      close_window();
+      next_window += options.window_hours;
+    }
+    // Pick the submitting member ∝ hashrate.
+    double ticket = rng.uniform01() * total_rate;
+    std::size_t miner = hashrates.size() - 1;
+    for (std::size_t i = 0; i < hashrates.size(); ++i) {
+      ticket -= hashrates[i];
+      if (ticket <= 0.0) {
+        miner = i;
+        break;
+      }
+    }
+    scheme.on_share(miner);
+    ++result.total_shares;
+    if (rng.uniform01() < block_probability) {
+      scheme.on_block(options.reward_per_block);
+      ++result.blocks_found;
+    }
+    t += rng.exponential(total_rate);
+  }
+  close_window();
+
+  double pool_income = 0.0;
+  for (const double v : scheme.payouts()) pool_income += v;
+  for (std::size_t i = 0; i < hashrates.size(); ++i) {
+    MemberStats& m = result.members[i];
+    m.total_income = scheme.payouts()[i];
+    m.mean_window_income = window_income[i].mean();
+    m.window_income_cv = m.mean_window_income > 0.0
+                             ? window_income[i].stddev() / m.mean_window_income
+                             : 0.0;
+    if (pool_income > 0.0) {
+      const double income_share = m.total_income / pool_income;
+      const double hash_share = hashrates[i] / total_rate;
+      result.proportionality_error = std::max(
+          result.proportionality_error, std::fabs(income_share - hash_share));
+    }
+  }
+  result.operator_balance = scheme.operator_balance();
+  return result;
+}
+
+std::vector<double> hopping_profile(SchemeKind kind,
+                                    const PoolSimOptions& options,
+                                    std::size_t num_buckets, Rng& rng,
+                                    std::uint64_t rounds) {
+  GOC_CHECK_ARG(num_buckets >= 2, "need at least two age buckets");
+  // Trick: make the scheme's "members" the round-age buckets — every share
+  // is attributed to the bucket of its age at submission, so the scheme's
+  // per-member payout totals become per-age payout totals, with all three
+  // schemes reused unmodified.
+  auto scheme =
+      make_scheme(kind, options.reward_per_block, options.shares_per_block);
+  scheme->begin(num_buckets);
+  const double bucket_width = options.shares_per_block / 4.0;
+  const double block_probability = 1.0 / options.shares_per_block;
+
+  std::vector<std::uint64_t> shares_in_bucket(num_buckets, 0);
+  std::uint64_t round_age = 0;
+  std::uint64_t blocks = 0;
+  const std::uint64_t target_shares =
+      rounds * static_cast<std::uint64_t>(options.shares_per_block);
+  for (std::uint64_t s = 0; s < target_shares || blocks < rounds; ++s) {
+    const auto bucket = std::min<std::size_t>(
+        num_buckets - 1,
+        static_cast<std::size_t>(static_cast<double>(round_age) / bucket_width));
+    scheme->on_share(bucket);
+    ++shares_in_bucket[bucket];
+    if (rng.uniform01() < block_probability) {
+      scheme->on_block(options.reward_per_block);
+      ++blocks;
+      round_age = 0;
+    } else {
+      ++round_age;
+    }
+    if (s > 100 * target_shares) break;  // defensive: cannot stall forever
+  }
+
+  std::vector<double> profile(num_buckets, 0.0);
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    if (shares_in_bucket[b] > 0) {
+      profile[b] = scheme->payouts()[b] /
+                   static_cast<double>(shares_in_bucket[b]);
+    }
+  }
+  return profile;
+}
+
+}  // namespace goc::pool

@@ -1,0 +1,95 @@
+#include "pool/reward_scheme.hpp"
+
+namespace goc::pool {
+
+void ProportionalScheme::begin(std::size_t num_members) {
+  GOC_CHECK_ARG(num_members >= 1, "pool needs at least one member");
+  payouts_.assign(num_members, 0.0);
+  round_shares_.assign(num_members, 0);
+  round_total_ = 0;
+}
+
+void ProportionalScheme::on_share(std::size_t miner) {
+  GOC_CHECK_ARG(miner < round_shares_.size(), "unknown member");
+  ++round_shares_[miner];
+  ++round_total_;
+}
+
+void ProportionalScheme::on_block(double reward) {
+  GOC_CHECK_ARG(reward >= 0.0, "negative block reward");
+  if (round_total_ > 0) {
+    const double per_share = reward / static_cast<double>(round_total_);
+    for (std::size_t i = 0; i < payouts_.size(); ++i) {
+      payouts_[i] += per_share * static_cast<double>(round_shares_[i]);
+      round_shares_[i] = 0;
+    }
+  }
+  round_total_ = 0;
+}
+
+PpsScheme::PpsScheme(double reward_per_block, double shares_per_block,
+                     double fee)
+    : per_share_(reward_per_block * (1.0 - fee) / shares_per_block) {
+  GOC_CHECK_ARG(reward_per_block > 0.0, "reward must be positive");
+  GOC_CHECK_ARG(shares_per_block > 0.0, "share difficulty must be positive");
+  GOC_CHECK_ARG(fee >= 0.0 && fee < 1.0, "fee must lie in [0,1)");
+}
+
+void PpsScheme::begin(std::size_t num_members) {
+  GOC_CHECK_ARG(num_members >= 1, "pool needs at least one member");
+  payouts_.assign(num_members, 0.0);
+  operator_balance_ = 0.0;
+}
+
+void PpsScheme::on_share(std::size_t miner) {
+  GOC_CHECK_ARG(miner < payouts_.size(), "unknown member");
+  payouts_[miner] += per_share_;
+  operator_balance_ -= per_share_;
+}
+
+void PpsScheme::on_block(double reward) {
+  GOC_CHECK_ARG(reward >= 0.0, "negative block reward");
+  operator_balance_ += reward;
+}
+
+PplnsScheme::PplnsScheme(std::size_t window) : window_(window) {
+  GOC_CHECK_ARG(window >= 1, "PPLNS window must be positive");
+}
+
+void PplnsScheme::begin(std::size_t num_members) {
+  GOC_CHECK_ARG(num_members >= 1, "pool needs at least one member");
+  payouts_.assign(num_members, 0.0);
+  recent_.clear();
+}
+
+void PplnsScheme::on_share(std::size_t miner) {
+  GOC_CHECK_ARG(miner < payouts_.size(), "unknown member");
+  recent_.push_back(miner);
+  if (recent_.size() > window_) recent_.pop_front();
+}
+
+void PplnsScheme::on_block(double reward) {
+  GOC_CHECK_ARG(reward >= 0.0, "negative block reward");
+  if (recent_.empty()) return;
+  const double per_share = reward / static_cast<double>(recent_.size());
+  for (const std::size_t miner : recent_) payouts_[miner] += per_share;
+}
+
+std::unique_ptr<RewardScheme> make_scheme(SchemeKind kind,
+                                          double reward_per_block,
+                                          double shares_per_block) {
+  switch (kind) {
+    case SchemeKind::kProportional:
+      return std::make_unique<ProportionalScheme>();
+    case SchemeKind::kPps:
+      return std::make_unique<PpsScheme>(reward_per_block, shares_per_block,
+                                         /*fee=*/0.05);
+    case SchemeKind::kPplns:
+      return std::make_unique<PplnsScheme>(
+          static_cast<std::size_t>(shares_per_block));
+  }
+  GOC_ASSERT(false, "unknown scheme kind");
+  return nullptr;
+}
+
+}  // namespace goc::pool

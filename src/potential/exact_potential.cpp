@@ -1,0 +1,107 @@
+#include "potential/exact_potential.hpp"
+
+#include <sstream>
+
+#include "core/enumerate.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+std::string FourCycleWitness::to_string() const {
+  std::ostringstream os;
+  os << "4-cycle via " << p.to_string() << "," << q.to_string() << ": "
+     << s1.to_string() << " -> " << s2.to_string() << " -> " << s3.to_string()
+     << " -> " << s4.to_string() << " -> (s1), sum=" << cycle_sum.to_string();
+  return os.str();
+}
+
+Rational four_cycle_sum(const Game& game, const Configuration& s, MinerId p,
+                        CoinId a_prime, MinerId q, CoinId b_prime) {
+  GOC_CHECK_ARG(p != q, "four_cycle_sum requires distinct miners");
+  const CoinId a = s.of(p);
+  const CoinId b = s.of(q);
+  GOC_CHECK_ARG(a != a_prime && b != b_prime,
+                "cycle strategies must differ from the base assignment");
+  const Configuration& s1 = s;
+  const Configuration s2 = s1.with_move(p, a_prime);
+  const Configuration s3 = s2.with_move(q, b_prime);
+  const Configuration s4 = s3.with_move(p, a);
+  // s4.with_move(q, b) == s1 closes the cycle.
+  return (game.payoff(s2, p) - game.payoff(s1, p)) +
+         (game.payoff(s3, q) - game.payoff(s2, q)) +
+         (game.payoff(s4, p) - game.payoff(s3, p)) +
+         (game.payoff(s1, q) - game.payoff(s4, q));
+}
+
+namespace {
+
+template <typename OnCycle>
+void visit_four_cycles(const Game& game, std::uint64_t max_bases,
+                       const OnCycle& on_cycle) {
+  const std::uint32_t n = static_cast<std::uint32_t>(game.num_miners());
+  const std::uint32_t coins = static_cast<std::uint32_t>(game.num_coins());
+  if (n < 2 || coins < 2) return;
+  std::uint64_t bases = 0;
+  for_each_configuration(
+      game.system_ptr(), UINT64_MAX, [&](const Configuration& base) {
+        if (++bases > max_bases) return false;
+        for (std::uint32_t pi = 0; pi < n; ++pi) {
+          for (std::uint32_t qi = pi + 1; qi < n; ++qi) {
+            const MinerId p(pi), q(qi);
+            for (std::uint32_t ap = 0; ap < coins; ++ap) {
+              if (CoinId(ap) == base.of(p)) continue;
+              for (std::uint32_t bp = 0; bp < coins; ++bp) {
+                if (CoinId(bp) == base.of(q)) continue;
+                if (!on_cycle(base, p, CoinId(ap), q, CoinId(bp))) return false;
+              }
+            }
+          }
+        }
+        return true;
+      });
+}
+
+}  // namespace
+
+std::optional<FourCycleWitness> find_nonzero_four_cycle(const Game& game,
+                                                        std::uint64_t max_bases) {
+  std::optional<FourCycleWitness> witness;
+  visit_four_cycles(game, max_bases,
+                    [&](const Configuration& base, MinerId p, CoinId ap,
+                        MinerId q, CoinId bp) {
+                      const Rational sum = four_cycle_sum(game, base, p, ap, q, bp);
+                      if (!sum.is_zero()) {
+                        const Configuration s2 = base.with_move(p, ap);
+                        const Configuration s3 = s2.with_move(q, bp);
+                        const Configuration s4 = s3.with_move(p, base.of(p));
+                        witness = FourCycleWitness{base, s2, s3, s4, p, q, sum};
+                        return false;
+                      }
+                      return true;
+                    });
+  return witness;
+}
+
+bool has_exact_potential(const Game& game, std::uint64_t max_configs) {
+  const auto count = configuration_count(game.system());
+  GOC_CHECK_ARG(count.has_value() && *count <= max_configs,
+                "game too large for exhaustive exact-potential check");
+  bool all_zero = true;
+  visit_four_cycles(game, *count,
+                    [&](const Configuration& base, MinerId p, CoinId ap,
+                        MinerId q, CoinId bp) {
+                      if (!four_cycle_sum(game, base, p, ap, q, bp).is_zero()) {
+                        all_zero = false;
+                        return false;
+                      }
+                      return true;
+                    });
+  return all_zero;
+}
+
+Game proposition1_game() {
+  System system = System::from_integer_powers({2, 1}, 2);
+  return Game(std::move(system), RewardFunction::from_integers({1, 1}));
+}
+
+}  // namespace goc

@@ -1,0 +1,79 @@
+#include "potential/list_potential.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+PotentialKey::PotentialKey(std::vector<Entry> sorted_entries)
+    : entries_(std::move(sorted_entries)) {
+  GOC_DASSERT(std::is_sorted(entries_.begin(), entries_.end(),
+                             [](const Entry& a, const Entry& b) {
+                               if (auto c = a.first <=> b.first; c != 0)
+                                 return c < 0;
+                               return a.second < b.second;
+                             }),
+              "PotentialKey entries must be sorted");
+}
+
+CoinId PotentialKey::coin_at(std::size_t i) const {
+  GOC_CHECK_ARG(i < entries_.size(), "potential key index out of range");
+  return entries_[i].second;
+}
+
+std::strong_ordering PotentialKey::operator<=>(const PotentialKey& other) const noexcept {
+  const std::size_t n = std::min(entries_.size(), other.entries_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (auto c = entries_[i].first <=> other.entries_[i].first; c != 0) return c;
+    if (auto c = entries_[i].second <=> other.entries_[i].second; c != 0) return c;
+  }
+  return entries_.size() <=> other.entries_.size();
+}
+
+std::string PotentialKey::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << "<" << entries_[i].first.to_string() << ","
+       << entries_[i].second.to_string() << ">";
+  }
+  os << "]";
+  return os.str();
+}
+
+PotentialKey potential_key(const Game& game, const Configuration& s) {
+  std::vector<PotentialKey::Entry> entries;
+  entries.reserve(game.num_coins());
+  for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+    const CoinId coin(c);
+    entries.emplace_back(game.rpu(s, coin), coin);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const PotentialKey::Entry& a, const PotentialKey::Entry& b) {
+              if (auto cmp = a.first <=> b.first; cmp != 0) return cmp < 0;
+              return a.second < b.second;
+            });
+  return PotentialKey(std::move(entries));
+}
+
+std::strong_ordering compare_potential(const Game& game, const Configuration& a,
+                                       const Configuration& b) {
+  return potential_key(game, a) <=> potential_key(game, b);
+}
+
+std::size_t first_non_ascending_step(
+    const Game& game, const std::vector<Configuration>& trajectory) {
+  if (trajectory.empty()) return 0;
+  PotentialKey prev = potential_key(game, trajectory.front());
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    PotentialKey cur = potential_key(game, trajectory[i]);
+    if (!(prev < cur)) return i;
+    prev = std::move(cur);
+  }
+  return trajectory.size();
+}
+
+}  // namespace goc

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <compare>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "util/xrational.hpp"
+
+/// \file list_potential.hpp
+/// The ordinal potential of Theorem 1.
+///
+/// For a configuration s, `list(s)` is the sequence of pairs
+/// ⟨RPU_c(s), c⟩ for all coins c, sorted lexicographically ascending. The
+/// paper's potential is the *rank* of list(s) among all reachable lists
+/// under the lexicographic order; ranks are astronomically large, but an
+/// ordinal potential only ever needs *comparisons*, so we expose the key
+/// itself plus a three-way comparator. Theorem 1: every better-response
+/// step strictly increases the key.
+///
+/// Empty coins carry RPU = +∞ (DESIGN.md §2.1) and therefore sort last;
+/// the theorem's argument is unaffected because a better-response step
+/// never decreases the RPU of the coin it leaves or enters.
+
+namespace goc {
+
+/// Sorted list of (RPU, coin) pairs — the potential "value" of a
+/// configuration up to order-isomorphism.
+class PotentialKey {
+ public:
+  using Entry = std::pair<XRational, CoinId>;
+
+  PotentialKey() = default;
+  explicit PotentialKey(std::vector<Entry> sorted_entries);
+
+  const std::vector<Entry>& entries() const noexcept { return entries_; }
+
+  /// v_i(s): the coin in the i-th (0-based) entry.
+  CoinId coin_at(std::size_t i) const;
+
+  std::strong_ordering operator<=>(const PotentialKey& other) const noexcept;
+  bool operator==(const PotentialKey& other) const noexcept {
+    return entries_ == other.entries_;
+  }
+
+  std::string to_string() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+/// Computes list(s) for game `game`.
+PotentialKey potential_key(const Game& game, const Configuration& s);
+
+/// Convenience: potential_key(s) <=> potential_key(s').
+std::strong_ordering compare_potential(const Game& game, const Configuration& a,
+                                       const Configuration& b);
+
+/// Audit helper for Theorem 1: returns the index of the first step in
+/// `trajectory` that fails to strictly increase the potential, or
+/// `trajectory.size()` when the whole path ascends. (A correct
+/// better-response trajectory always ascends; this is used by tests and by
+/// the learning driver's `audit_potential` mode.)
+std::size_t first_non_ascending_step(const Game& game,
+                                     const std::vector<Configuration>& trajectory);
+
+}  // namespace goc

@@ -1,0 +1,34 @@
+#include "potential/observations.hpp"
+
+#include "potential/list_potential.hpp"
+#include "util/assert.hpp"
+
+namespace goc {
+
+bool observation1_holds(const Game& game, const Configuration& s,
+                        const Move& move) {
+  GOC_CHECK_ARG(s.of(move.miner) == move.from, "move does not apply to s");
+  const PotentialKey key = potential_key(game, s);
+  std::size_t from_pos = key.entries().size();
+  std::size_t to_pos = key.entries().size();
+  for (std::size_t i = 0; i < key.entries().size(); ++i) {
+    if (key.entries()[i].second == move.from) from_pos = i;
+    if (key.entries()[i].second == move.to) to_pos = i;
+  }
+  GOC_ASSERT(from_pos < key.entries().size() && to_pos < key.entries().size(),
+             "move references coins absent from the potential key");
+  return to_pos > from_pos;
+}
+
+bool observation2_holds(const Game& game, const Configuration& s,
+                        const Move& move) {
+  GOC_CHECK_ARG(s.of(move.miner) == move.from, "move does not apply to s");
+  const Configuration after = s.with_move(move.miner, move.to);
+  const XRational before_from = game.rpu(s, move.from);
+  const XRational after_from = game.rpu(after, move.from);
+  const XRational after_to = game.rpu(after, move.to);
+  const XRational& min_after = after_from < after_to ? after_from : after_to;
+  return before_from < min_after;
+}
+
+}  // namespace goc

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "core/moves.hpp"
+
+/// \file observations.hpp
+/// Machine-checkable forms of the paper's Observations 1–2 (Appendix C),
+/// used by property tests and by the learning driver's audit mode. Both are
+/// *theorems* — these checkers exist to validate the implementation against
+/// the paper, not because the properties could fail in a correct build.
+
+namespace goc {
+
+/// Observation 1: if a better-response step of p changes s.p = v_i(s) to
+/// v_j(s), then j > i — the mover always climbs to a coin that sits later
+/// in list(s). Returns true when the (claimed) better-response move
+/// satisfies the observation.
+bool observation1_holds(const Game& game, const Configuration& s, const Move& move);
+
+/// Observation 2: a better-response step of p from c to c' satisfies
+/// RPU_c(s) < min(RPU_c(s'), RPU_{c'}(s')). Returns true when it does.
+bool observation2_holds(const Game& game, const Configuration& s, const Move& move);
+
+}  // namespace goc

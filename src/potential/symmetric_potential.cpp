@@ -1,0 +1,32 @@
+#include "potential/symmetric_potential.hpp"
+
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+std::string SymmetricPotential::to_string() const {
+  std::ostringstream os;
+  os << "(empty=" << empty_coins
+     << ", sum=" << occupied_inverse_mass_sum.to_string() << ")";
+  return os.str();
+}
+
+SymmetricPotential symmetric_potential(const Game& game, const Configuration& s) {
+  GOC_CHECK_ARG(game.rewards().is_symmetric(),
+                "symmetric_potential requires a constant reward function");
+  SymmetricPotential result;
+  result.occupied_inverse_mass_sum = Rational(0);
+  for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+    const CoinId coin(c);
+    if (s.empty_coin(coin)) {
+      ++result.empty_coins;
+    } else {
+      result.occupied_inverse_mass_sum += s.mass(coin).reciprocal();
+    }
+  }
+  return result;
+}
+
+}  // namespace goc

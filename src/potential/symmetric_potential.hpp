@@ -1,0 +1,43 @@
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+
+/// \file symmetric_potential.hpp
+/// Appendix B: when F is constant across coins, H(s) = Σ_c 1/M_c(s) is a
+/// *decreasing* ordinal potential — every better-response step strictly
+/// lowers it (Proposition 4).
+///
+/// The paper's sum is over all coins, which is undefined with empty coins.
+/// We use the refinement (empty_coins(s), Σ_{occupied} 1/M_c(s)) compared
+/// lexicographically: a better-response step into an empty coin strictly
+/// reduces the empty-coin count (a solo miner never has a better response
+/// in a symmetric game, so the vacated coin stays occupied), and a step
+/// between occupied coins reduces the sum with the count unchanged — the
+/// exact argument of Proposition 4. When all coins are occupied this
+/// coincides with the paper's H.
+
+namespace goc {
+
+/// The refined symmetric-case potential value.
+struct SymmetricPotential {
+  std::size_t empty_coins = 0;
+  Rational occupied_inverse_mass_sum;  ///< Σ_{c occupied} 1/M_c(s)
+
+  std::strong_ordering operator<=>(const SymmetricPotential& other) const noexcept {
+    if (auto c = empty_coins <=> other.empty_coins; c != 0) return c;
+    return occupied_inverse_mass_sum <=> other.occupied_inverse_mass_sum;
+  }
+  bool operator==(const SymmetricPotential&) const noexcept = default;
+
+  std::string to_string() const;
+};
+
+/// Computes the potential; throws std::invalid_argument unless the game is
+/// symmetric (F constant).
+SymmetricPotential symmetric_potential(const Game& game, const Configuration& s);
+
+}  // namespace goc

@@ -1,0 +1,96 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+Cli::Cli(int argc, const char* const* argv) {
+  GOC_CHECK_ARG(argc >= 1 && argv != nullptr, "Cli requires argv[0]");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      options_[body.substr(0, eq)] = body.substr(eq + 1);
+      continue;
+    }
+    // `--name value` unless the next token is itself an option or absent —
+    // then it is a boolean flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_[body] = argv[++i];
+    } else {
+      options_[body] = "";
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const {
+  return options_.count(name) != 0;
+}
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = options_.find(name);
+  return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_i64(const std::string& name, std::int64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+std::uint64_t Cli::get_u64(const std::string& name,
+                           std::uint64_t fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name +
+                                " expects an unsigned integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("option --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = options_.find(name);
+  if (it == options_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v.empty() || v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("option --" + name + " expects a boolean, got '" +
+                              v + "'");
+}
+
+std::vector<std::string> Cli::option_names() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [k, _] : options_) names.push_back(k);
+  return names;
+}
+
+}  // namespace goc

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+/// \file cli.hpp
+/// Minimal command-line option parsing for example and benchmark binaries.
+///
+/// Accepted syntax: `--name=value`, `--name value`, and boolean `--flag`.
+/// Unknown options are collected and reported via `unknown()` so binaries
+/// can fail fast with a usage string.
+
+namespace goc {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  const std::string& program() const noexcept { return program_; }
+
+  bool has(const std::string& name) const;
+
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_i64(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  /// Boolean flags: present without value (or "true"/"1") → true;
+  /// "false"/"0" → false.
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const noexcept {
+    return positional_;
+  }
+
+  /// Option names that were parsed (for validation against a known set).
+  std::vector<std::string> option_names() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace goc

@@ -1,0 +1,21 @@
+#include "util/int128.hpp"
+
+#include <algorithm>
+
+namespace goc {
+
+std::string to_string(i128 value) {
+  if (value == 0) return "0";
+  const bool negative = value < 0;
+  u128 mag = uabs128(value);
+  std::string digits;
+  while (mag != 0) {
+    digits.push_back(static_cast<char>('0' + static_cast<int>(mag % 10)));
+    mag /= 10;
+  }
+  if (negative) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+}  // namespace goc

@@ -1,0 +1,29 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace goc {
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+void log_message(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  std::fprintf(stderr, "[goc %s] %s\n", tag(level), message.c_str());
+}
+
+}  // namespace goc

@@ -1,0 +1,44 @@
+#pragma once
+
+#include <sstream>
+#include <string>
+
+/// \file log.hpp
+/// Leveled logging to stderr. Single-threaded by design (the library is a
+/// simulator, not a server); the default level is Warn so library code can
+/// narrate without polluting benchmark tables.
+
+namespace goc {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emits `message` with a level tag if `level` passes the global threshold.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+/// Stream-composing helper used by the GOC_LOG macro; emits on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace goc
+
+#define GOC_LOG(level) ::goc::detail::LogLine(::goc::LogLevel::level)

@@ -1,0 +1,257 @@
+#include "util/rational.hpp"
+
+#include <cmath>
+#include <limits>
+#include <ostream>
+
+namespace goc {
+namespace {
+
+/// Compares a/b with c/d for nonnegative a, c and positive b, d, without
+/// overflow: walks the continued-fraction expansions of both fractions in
+/// lock-step (Euclid's algorithm), comparing integer parts; the comparison
+/// direction flips on every reciprocal step.
+std::strong_ordering compare_cf(u128 a, u128 b, u128 c, u128 d) noexcept {
+  bool flipped = false;
+  for (;;) {
+    const u128 q1 = a / b;
+    const u128 q2 = c / d;
+    if (q1 != q2) {
+      const auto ord =
+          q1 < q2 ? std::strong_ordering::less : std::strong_ordering::greater;
+      return flipped ? (ord == std::strong_ordering::less
+                            ? std::strong_ordering::greater
+                            : std::strong_ordering::less)
+                     : ord;
+    }
+    const u128 r1 = a % b;
+    const u128 r2 = c % d;
+    if (r1 == 0 && r2 == 0) return std::strong_ordering::equal;
+    if (r1 == 0) return flipped ? std::strong_ordering::greater
+                                : std::strong_ordering::less;
+    if (r2 == 0) return flipped ? std::strong_ordering::less
+                                : std::strong_ordering::greater;
+    // a/b <=> c/d  ==  r1/b <=> r2/d  ==  (d/r2 <=> b/r1) after reciprocal.
+    a = b;
+    b = r1;
+    c = d;
+    d = r2;
+    flipped = !flipped;
+  }
+}
+
+bool mul_overflow_u128(u128 x, u128 y, u128* out) noexcept {
+  return __builtin_mul_overflow(x, y, out);
+}
+
+}  // namespace
+
+Rational::Rational(std::int64_t numerator, std::int64_t denominator)
+    : num_(numerator), den_(denominator) {
+  GOC_CHECK_ARG(denominator != 0, "Rational denominator must be nonzero");
+  normalize();
+}
+
+Rational::Rational(i128 num, i128 den, bool already_normalized)
+    : num_(num), den_(den) {
+  if (!already_normalized) normalize();
+}
+
+Rational Rational::from_parts(i128 numerator, i128 denominator) {
+  GOC_CHECK_ARG(denominator != 0, "Rational denominator must be nonzero");
+  return Rational(numerator, denominator, /*already_normalized=*/false);
+}
+
+void Rational::normalize() {
+  GOC_ASSERT(den_ != 0, "denormalized Rational with zero denominator");
+  if (den_ < 0) {
+    GOC_CHECK_ARG(den_ != kI128Min && num_ != kI128Min,
+                  "Rational magnitude out of range");
+    num_ = -num_;
+    den_ = -den_;
+  }
+  if (num_ == 0) {
+    den_ = 1;
+    return;
+  }
+  const u128 g = gcd128(uabs128(num_), static_cast<u128>(den_));
+  if (g > 1) {
+    // Divide magnitudes; safe because g divides both exactly.
+    const bool neg = num_ < 0;
+    const u128 n = uabs128(num_) / g;
+    num_ = neg ? -static_cast<i128>(n) : static_cast<i128>(n);
+    den_ = static_cast<i128>(static_cast<u128>(den_) / g);
+  }
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& other) const noexcept {
+  // Fast sign-based discrimination.
+  const int s1 = num_ < 0 ? -1 : (num_ > 0 ? 1 : 0);
+  const int s2 = other.num_ < 0 ? -1 : (other.num_ > 0 ? 1 : 0);
+  if (s1 != s2) return s1 <=> s2;
+  if (s1 == 0) return std::strong_ordering::equal;
+
+  // Same strict sign: compare magnitudes |a|/b vs |c|/d, flipping for
+  // negatives. Try reduced cross-multiplication first.
+  u128 a = uabs128(num_);
+  u128 b = static_cast<u128>(den_);
+  u128 c = uabs128(other.num_);
+  u128 d = static_cast<u128>(other.den_);
+  const u128 g1 = gcd128(a, c);
+  const u128 g2 = gcd128(b, d);
+  a /= g1;
+  c /= g1;
+  b /= g2;
+  d /= g2;
+
+  std::strong_ordering mag = std::strong_ordering::equal;
+  u128 lhs = 0;
+  u128 rhs = 0;
+  if (!mul_overflow_u128(a, d, &lhs) && !mul_overflow_u128(c, b, &rhs)) {
+    mag = lhs <=> rhs;
+  } else {
+    mag = compare_cf(a, b, c, d);
+  }
+  if (s1 < 0) {
+    if (mag == std::strong_ordering::less) return std::strong_ordering::greater;
+    if (mag == std::strong_ordering::greater) return std::strong_ordering::less;
+    return std::strong_ordering::equal;
+  }
+  return mag;
+}
+
+Rational Rational::operator-() const noexcept {
+  Rational r = *this;
+  r.num_ = -r.num_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& other) const {
+  // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g)) with g = gcd(b, d).
+  const u128 g = gcd128(static_cast<u128>(den_), static_cast<u128>(other.den_));
+  const i128 d_over_g = static_cast<i128>(static_cast<u128>(other.den_) / g);
+  const i128 b_over_g = static_cast<i128>(static_cast<u128>(den_) / g);
+  const i128 num =
+      checked_add(checked_mul(num_, d_over_g), checked_mul(other.num_, b_over_g));
+  const i128 den = checked_mul(den_, d_over_g);
+  return Rational(num, den, /*already_normalized=*/false);
+}
+
+Rational Rational::operator-(const Rational& other) const {
+  return *this + (-other);
+}
+
+Rational Rational::operator*(const Rational& other) const {
+  // Reduce cross factors before multiplying to delay overflow.
+  const u128 g1 = gcd128(uabs128(num_), static_cast<u128>(other.den_));
+  const u128 g2 = gcd128(uabs128(other.num_), static_cast<u128>(den_));
+  const i128 a = num_ / static_cast<i128>(g1);
+  const i128 d = other.den_ / static_cast<i128>(g1);
+  const i128 c = other.num_ / static_cast<i128>(g2);
+  const i128 b = den_ / static_cast<i128>(g2);
+  return Rational(checked_mul(a, c), checked_mul(b, d),
+                  /*already_normalized=*/false);
+}
+
+Rational Rational::operator/(const Rational& other) const {
+  if (other.num_ == 0) throw std::domain_error("Rational division by zero");
+  return *this * other.reciprocal();
+}
+
+Rational Rational::abs() const noexcept {
+  Rational r = *this;
+  if (r.num_ < 0) r.num_ = -r.num_;
+  return r;
+}
+
+Rational Rational::reciprocal() const {
+  if (num_ == 0) throw std::domain_error("Rational reciprocal of zero");
+  Rational r;
+  if (num_ < 0) {
+    r.num_ = -den_;
+    r.den_ = -num_;
+  } else {
+    r.num_ = den_;
+    r.den_ = num_;
+  }
+  return r;
+}
+
+double Rational::to_double() const noexcept {
+  return static_cast<double>(static_cast<long double>(num_) /
+                             static_cast<long double>(den_));
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return goc::to_string(num_);
+  return goc::to_string(num_) + "/" + goc::to_string(den_);
+}
+
+std::size_t Rational::hash() const noexcept {
+  const auto mix = [](std::size_t h, std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+  };
+  std::size_t h = 0;
+  h = mix(h, static_cast<std::uint64_t>(static_cast<u128>(num_)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<u128>(num_) >> 64));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<u128>(den_)));
+  h = mix(h, static_cast<std::uint64_t>(static_cast<u128>(den_) >> 64));
+  return h;
+}
+
+Rational Rational::from_double(double value, std::uint64_t max_denominator) {
+  GOC_CHECK_ARG(std::isfinite(value), "from_double requires a finite value");
+  GOC_CHECK_ARG(max_denominator > 0, "max_denominator must be positive");
+  const bool negative = value < 0;
+  double x = negative ? -value : value;
+
+  // Continued-fraction walk maintaining convergents p/q; when the next
+  // convergent's denominator would exceed the bound, take the best
+  // semiconvergent instead.
+  std::uint64_t p0 = 0, q0 = 1;  // previous convergent
+  std::uint64_t p1 = 1, q1 = 0;  // current convergent
+  double frac = x;
+  for (int iter = 0; iter < 64; ++iter) {
+    const double fa = std::floor(frac);
+    if (fa > static_cast<double>(std::numeric_limits<std::int64_t>::max())) break;
+    const std::uint64_t a = static_cast<std::uint64_t>(fa);
+    // q2 = a*q1 + q0; stop if it exceeds the denominator bound.
+    if (q1 != 0 && a > (max_denominator - q0) / q1) {
+      const std::uint64_t t = (max_denominator - q0) / q1;  // largest valid step
+      const std::uint64_t ps = t * p1 + p0;
+      const std::uint64_t qs = t * q1 + q0;
+      // Choose between the semiconvergent ps/qs and the last convergent
+      // p1/q1, whichever is closer to x (ties to the smaller denominator).
+      const double err_semi =
+          std::fabs(x - static_cast<double>(ps) / static_cast<double>(qs));
+      const double err_conv =
+          std::fabs(x - static_cast<double>(p1) / static_cast<double>(q1));
+      std::uint64_t bp = p1, bq = q1;
+      if (qs <= max_denominator && err_semi < err_conv) {
+        bp = ps;
+        bq = qs;
+      }
+      return Rational(negative ? -static_cast<i128>(bp) : static_cast<i128>(bp),
+                      static_cast<i128>(bq), /*already_normalized=*/false);
+    }
+    const std::uint64_t p2 = a * p1 + p0;
+    const std::uint64_t q2 = a * q1 + q0;
+    p0 = p1;
+    q0 = q1;
+    p1 = p2;
+    q1 = q2;
+    const double rem = frac - fa;
+    if (rem < 1e-15 * (1.0 + fa)) break;  // exhausted double precision
+    frac = 1.0 / rem;
+  }
+  GOC_ASSERT(q1 != 0, "continued-fraction walk produced no convergent");
+  return Rational(negative ? -static_cast<i128>(p1) : static_cast<i128>(p1),
+                  static_cast<i128>(q1), /*already_normalized=*/false);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace goc

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+#include "util/assert.hpp"
+#include "util/int128.hpp"
+
+/// \file rational.hpp
+/// Exact rational arithmetic for game-theoretic comparisons.
+///
+/// Every quantity the paper reasons about — mining power, coin reward,
+/// revenue-per-unit (RPU), payoff — is compared *exactly*: better-response
+/// steps require strict improvement, the ordinal potential of Theorem 1 is a
+/// lexicographic order over RPU values, and Assumption 2 (genericity) is a
+/// statement about exact inequality of fractions. Floating point would make
+/// all of these silently unsound, so the core model uses `Rational`
+/// throughout. Stochastic substrates (market/chain simulators) work in
+/// `double` and quantize at the boundary via `Rational::from_double`.
+///
+/// Representation: normalized `num/den` with `den > 0`,
+/// `gcd(|num|, den) == 1`, both stored as 128-bit integers. Operations that
+/// would exceed 128-bit intermediates throw `goc::OverflowError`;
+/// comparisons never overflow (they reduce by GCD first and fall back to a
+/// continued-fraction walk).
+
+namespace goc {
+
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() noexcept : num_(0), den_(1) {}
+
+  /// Integer value.
+  constexpr Rational(std::int64_t value) noexcept  // NOLINT(google-explicit-constructor)
+      : num_(value), den_(1) {}
+
+  /// `numerator / denominator`; throws std::invalid_argument on zero
+  /// denominator. Normalizes sign and reduces to lowest terms.
+  Rational(std::int64_t numerator, std::int64_t denominator);
+
+  /// Named constructor from raw 128-bit parts (used internally and by
+  /// tests); same normalization rules as the int64 constructor.
+  static Rational from_parts(i128 numerator, i128 denominator);
+
+  /// Best rational approximation of `value` with denominator at most
+  /// `max_denominator`, via a Stern–Brocot / continued-fraction walk.
+  /// Throws std::invalid_argument for non-finite input or
+  /// `max_denominator == 0`.
+  static Rational from_double(double value, std::uint64_t max_denominator);
+
+  i128 numerator() const noexcept { return num_; }
+  i128 denominator() const noexcept { return den_; }
+
+  bool is_zero() const noexcept { return num_ == 0; }
+  bool is_negative() const noexcept { return num_ < 0; }
+  bool is_positive() const noexcept { return num_ > 0; }
+  bool is_integer() const noexcept { return den_ == 1; }
+
+  /// Exact three-way comparison. Never throws and never overflows: reduces
+  /// the cross products by GCD and, if 128 bits still do not suffice,
+  /// compares continued-fraction expansions term by term.
+  std::strong_ordering operator<=>(const Rational& other) const noexcept;
+  bool operator==(const Rational& other) const noexcept {
+    return num_ == other.num_ && den_ == other.den_;
+  }
+
+  Rational operator-() const noexcept;
+  Rational operator+(const Rational& other) const;
+  Rational operator-(const Rational& other) const;
+  Rational operator*(const Rational& other) const;
+  /// Throws std::domain_error when dividing by zero.
+  Rational operator/(const Rational& other) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  /// |x|.
+  Rational abs() const noexcept;
+  /// 1/x; throws std::domain_error on zero.
+  Rational reciprocal() const;
+
+  /// Closest double (may round).
+  double to_double() const noexcept;
+
+  /// "p" for integers, "p/q" otherwise.
+  std::string to_string() const;
+
+  /// FNV-style hash consistent with operator==.
+  std::size_t hash() const noexcept;
+
+ private:
+  Rational(i128 num, i128 den, bool already_normalized);
+  void normalize();
+
+  i128 num_;
+  i128 den_;  // invariant: den_ > 0, gcd(|num_|, den_) == 1
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace goc
+
+template <>
+struct std::hash<goc::Rational> {
+  std::size_t operator()(const goc::Rational& r) const noexcept {
+    return r.hash();
+  }
+};

@@ -1,0 +1,135 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace goc {
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_group(std::uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  out.append(digits, 0, lead);
+  for (std::size_t i = lead; i < digits.size(); i += 3) {
+    out.push_back('_');
+    out.append(digits, i, 3);
+  }
+  return out;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  GOC_CHECK_ARG(!headers_.empty(), "Table requires at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  GOC_CHECK_ARG(cells.size() == headers_.size(),
+                "row arity does not match table header");
+  rows_.push_back(std::move(cells));
+}
+
+Table::RowBuilder::~RowBuilder() noexcept(false) {
+  table_.add_row(std::move(cells_));
+}
+
+Table::RowBuilder& Table::RowBuilder::operator<<(const std::string& cell) {
+  cells_.push_back(cell);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(const char* cell) {
+  cells_.emplace_back(cell);
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(double value) {
+  cells_.push_back(fmt_double(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(std::int64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(std::uint64_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+Table::RowBuilder& Table::RowBuilder::operator<<(int value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << "  ";
+      os << std::string(widths[c] - cells[c].size(), ' ') << cells[c];
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c)
+    total += widths[c] + (c == 0 ? 0 : 2);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char ch : cell) {
+    if (ch == '"') out += "\"\"";
+    else out.push_back(ch);
+  }
+  out.push_back('"');
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  const auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c != 0) os << ',';
+      os << csv_escape(cells[c]);
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  if (!title.empty()) os << title << '\n';
+  os << to_ascii();
+}
+
+void Table::save_csv(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << to_csv();
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace goc

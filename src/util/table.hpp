@@ -1,0 +1,71 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+/// \file table.hpp
+/// Console/CSV table rendering for benchmark harnesses.
+///
+/// Every experiment binary prints its results as an aligned ASCII table (the
+/// "rows the paper reports") and can also persist CSV for plotting.
+
+namespace goc {
+
+/// Fixed-precision double formatting ("%.*f") without iostream state leaks.
+std::string fmt_double(double value, int precision = 3);
+
+/// Human-readable large integer (e.g. "12_345_678").
+std::string fmt_group(std::uint64_t value);
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t columns() const noexcept { return headers_.size(); }
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Adds a row; must match the header arity.
+  void add_row(std::vector<std::string> cells);
+
+  /// Streaming row builder: `table.row() << 3 << "abc" << 1.5;` commits on
+  /// destruction and validates arity.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder(const RowBuilder&) = delete;
+    RowBuilder& operator=(const RowBuilder&) = delete;
+    RowBuilder(RowBuilder&&) = delete;
+    ~RowBuilder() noexcept(false);
+
+    RowBuilder& operator<<(const std::string& cell);
+    RowBuilder& operator<<(const char* cell);
+    RowBuilder& operator<<(double value);
+    RowBuilder& operator<<(std::int64_t value);
+    RowBuilder& operator<<(std::uint64_t value);
+    RowBuilder& operator<<(int value);
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder row() { return RowBuilder(*this); }
+
+  /// Right-aligned ASCII rendering with a header separator.
+  std::string to_ascii() const;
+  /// RFC-4180-ish CSV (quotes cells containing commas/quotes/newlines).
+  std::string to_csv() const;
+
+  /// Writes `to_ascii()` preceded by an optional title line.
+  void print(std::ostream& os, const std::string& title = "") const;
+
+  /// Writes CSV to `path`; throws std::runtime_error on I/O failure.
+  void save_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace goc

@@ -1,0 +1,12 @@
+#include "util/xrational.hpp"
+
+#include <limits>
+
+namespace goc {
+
+double XRational::to_double() const noexcept {
+  if (infinite_) return std::numeric_limits<double>::infinity();
+  return value_.to_double();
+}
+
+}  // namespace goc

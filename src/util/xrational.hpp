@@ -1,0 +1,66 @@
+#pragma once
+
+#include <compare>
+#include <string>
+
+#include "util/rational.hpp"
+
+/// \file xrational.hpp
+/// Rationals extended with +infinity.
+///
+/// The paper defines the revenue-per-unit of a coin as `F(c)/M_c(s)`, which
+/// is undefined when no miner mines `c`. For the ordinal-potential list of
+/// Theorem 1 and the reward-design level `R(s)` we need a total order that
+/// also covers empty coins; an empty coin is maximally attractive per unit
+/// of power, so we model its RPU as `+∞` (see DESIGN.md §2.1). Only
+/// +infinity is needed — RPUs are never negative.
+
+namespace goc {
+
+class XRational {
+ public:
+  /// Finite value (implicit: a Rational is an XRational).
+  constexpr XRational() noexcept : infinite_(false), value_() {}
+  XRational(Rational value) noexcept  // NOLINT(google-explicit-constructor)
+      : infinite_(false), value_(std::move(value)) {}
+
+  static XRational infinity() noexcept {
+    XRational x;
+    x.infinite_ = true;
+    return x;
+  }
+
+  bool is_infinite() const noexcept { return infinite_; }
+  bool is_finite() const noexcept { return !infinite_; }
+
+  /// The finite value; throws goc::InvariantError if infinite.
+  const Rational& finite_value() const {
+    GOC_ASSERT(!infinite_, "finite_value() on +inf");
+    return value_;
+  }
+
+  std::strong_ordering operator<=>(const XRational& other) const noexcept {
+    if (infinite_ && other.infinite_) return std::strong_ordering::equal;
+    if (infinite_) return std::strong_ordering::greater;
+    if (other.infinite_) return std::strong_ordering::less;
+    return value_ <=> other.value_;
+  }
+  bool operator==(const XRational& other) const noexcept {
+    return infinite_ == other.infinite_ &&
+           (infinite_ || value_ == other.value_);
+  }
+
+  /// +inf renders as "inf".
+  std::string to_string() const {
+    return infinite_ ? "inf" : value_.to_string();
+  }
+
+  /// +inf maps to the double infinity.
+  double to_double() const noexcept;
+
+ private:
+  bool infinite_;
+  Rational value_;
+};
+
+}  // namespace goc

@@ -1,0 +1,329 @@
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/moves.hpp"
+#include "equilibrium/assumptions.hpp"
+#include "equilibrium/better_equilibrium.hpp"
+#include "equilibrium/construct.hpp"
+#include "equilibrium/enumerate.hpp"
+#include "equilibrium/welfare.hpp"
+
+namespace goc {
+namespace {
+
+// --------------------------------------------------------- greedy construct
+
+TEST(GreedyEquilibrium, SingleMinerPicksHeaviestCoin) {
+  Game g(System::from_integer_powers({3}, 3),
+         RewardFunction::from_integers({5, 9, 2}));
+  const Configuration s = greedy_equilibrium(g);
+  EXPECT_EQ(s.of(MinerId(0)), CoinId(1));
+  EXPECT_TRUE(is_equilibrium(g, s));
+}
+
+TEST(GreedyEquilibrium, TwoMinersSplitTwoCoins) {
+  Game g(System::from_integer_powers({2, 1}, 2),
+         RewardFunction::from_integers({1, 1}));
+  const Configuration s = greedy_equilibrium(g);
+  EXPECT_NE(s.of(MinerId(0)), s.of(MinerId(1)));
+  EXPECT_TRUE(is_equilibrium(g, s));
+}
+
+class GreedyEquilibriumProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GreedyEquilibriumProperty, AlwaysStable) {
+  // Proposition 3: the greedy construction yields an equilibrium for any
+  // Π, C, F — including unsorted miners, duplicate powers, skewed rewards.
+  Rng rng(GetParam());
+  GameSpec spec;
+  spec.num_miners = 1 + static_cast<std::size_t>(rng.next_below(30));
+  spec.num_coins = 1 + static_cast<std::size_t>(rng.next_below(6));
+  spec.power_lo = 1;
+  spec.power_hi = 100;
+  spec.reward_lo = 1;
+  spec.reward_hi = 1000;
+  const Game g = random_game(spec, rng);
+  const Configuration s = greedy_equilibrium(g);
+  EXPECT_TRUE(is_equilibrium(g, s)) << g.to_string() << " " << s.to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyEquilibriumProperty,
+                         ::testing::Range<std::uint64_t>(1, 61));
+
+TEST(BestInsertionCoin, MaximizesPostInsertionPayoff) {
+  RewardFunction f = RewardFunction::from_integers({10, 6});
+  // Masses 9 and 1: joining c0 yields 10/(9+2)·2, c1 yields 6/(1+2)·2 = 4.
+  const CoinId c =
+      best_insertion_coin(f, {Rational(9), Rational(1)}, Rational(2));
+  EXPECT_EQ(c, CoinId(1));
+}
+
+TEST(BestInsertionCoin, TieBreaksLowId) {
+  RewardFunction f = RewardFunction::from_integers({5, 5});
+  const CoinId c =
+      best_insertion_coin(f, {Rational(3), Rational(3)}, Rational(1));
+  EXPECT_EQ(c, CoinId(0));
+}
+
+// ------------------------------------------------------------- enumeration
+
+TEST(EnumerateEquilibria, Proposition1GameHasExactlyTwo) {
+  Game g(System::from_integer_powers({2, 1}, 2),
+         RewardFunction::from_integers({1, 1}));
+  const auto eqs = enumerate_equilibria(g);
+  // ⟨c0,c1⟩ and ⟨c1,c0⟩ — the two split configurations.
+  ASSERT_EQ(eqs.size(), 2u);
+  for (const auto& s : eqs) {
+    EXPECT_NE(s.of(MinerId(0)), s.of(MinerId(1)));
+  }
+}
+
+TEST(EnumerateEquilibria, AgreesWithDirectCheck) {
+  Rng rng(7);
+  GameSpec spec;
+  spec.num_miners = 4;
+  spec.num_coins = 3;
+  const Game g = random_game(spec, rng);
+  const auto eqs = enumerate_equilibria(g);
+  for (const auto& s : eqs) EXPECT_TRUE(is_equilibrium(g, s));
+  EXPECT_FALSE(eqs.empty());  // Proposition 3 guarantees at least one
+}
+
+TEST(SampleEquilibria, SoundAndFindsGreedyOne) {
+  Rng rng(11);
+  GameSpec spec;
+  spec.num_miners = 8;
+  spec.num_coins = 3;
+  const Game g = random_game(spec, rng);
+  const auto sampled = sample_equilibria(g, rng, 32);
+  ASSERT_FALSE(sampled.empty());
+  for (const auto& s : sampled) EXPECT_TRUE(is_equilibrium(g, s));
+}
+
+TEST(SampleEquilibria, SubsetOfExhaustive) {
+  Rng rng(13);
+  GameSpec spec;
+  spec.num_miners = 5;
+  spec.num_coins = 2;
+  const Game g = random_game(spec, rng);
+  const auto all = enumerate_equilibria(g);
+  const auto sampled = sample_equilibria(g, rng, 64);
+  for (const auto& s : sampled) {
+    const bool present =
+        std::any_of(all.begin(), all.end(),
+                    [&](const Configuration& e) { return e == s; });
+    EXPECT_TRUE(present);
+  }
+}
+
+// ------------------------------------------------------------------ welfare
+
+TEST(Welfare, Observation3AtEquilibria) {
+  // At any equilibrium with all coins occupied, total payoff == total F.
+  Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    GameSpec spec;
+    spec.num_miners = 6;
+    spec.num_coins = 2;
+    const Game g = random_game(spec, rng);
+    for (const auto& s : enumerate_equilibria(g)) {
+      if (s.occupied_coins() == g.num_coins()) {
+        EXPECT_EQ(total_payoff(g, s), g.rewards().total_reward());
+        EXPECT_TRUE(globally_optimal(g, s));
+      }
+    }
+  }
+}
+
+TEST(Welfare, TotalPayoffEqualsDistributedReward) {
+  // Identity for *any* configuration: miners on a coin split exactly F(c).
+  Rng rng(19);
+  GameSpec spec;
+  spec.num_miners = 9;
+  spec.num_coins = 4;
+  const Game g = random_game(spec, rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Configuration s = random_configuration(g, rng);
+    EXPECT_EQ(total_payoff(g, s), distributed_reward(g, s));
+  }
+}
+
+TEST(Welfare, FairnessIndexBounds) {
+  Game g(System::from_integer_powers({4, 4}, 2),
+         RewardFunction::from_integers({10, 10}));
+  // Symmetric split: everyone earns the same RPU → Jain index 1.
+  const Configuration even(g.system_ptr(), {CoinId(0), CoinId(1)});
+  EXPECT_NEAR(rpu_fairness_index(g, even), 1.0, 1e-12);
+  EXPECT_NEAR(rpu_spread(g, even), 1.0, 1e-12);
+  // Skewed: one coin with double reward.
+  Game g2(System::from_integer_powers({4, 4}, 2),
+          RewardFunction::from_integers({30, 10}));
+  const Configuration skew(g2.system_ptr(), {CoinId(0), CoinId(1)});
+  EXPECT_LT(rpu_fairness_index(g2, skew), 1.0);
+  EXPECT_NEAR(rpu_spread(g2, skew), 3.0, 1e-12);
+}
+
+TEST(Welfare, PayoffVectorMatchesGame) {
+  const Game g(System::from_integer_powers({2, 1}, 2),
+               RewardFunction::from_integers({1, 1}));
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1)});
+  const auto v = payoff_vector(g, s);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], Rational(1));
+  EXPECT_EQ(v[1], Rational(1));
+}
+
+// -------------------------------------------------------------- assumptions
+
+TEST(Genericity, DetectsSymmetricViolation) {
+  // F(c0)/m0 == F(c1)/m1 with F=(2,4), m=(1,2).
+  Game g(System::from_integer_powers({1, 2}, 2),
+         RewardFunction::from_integers({2, 4}));
+  const auto violation = find_genericity_violation(g);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->c, violation->c_prime);
+}
+
+TEST(Genericity, AcceptsGenericGame) {
+  // Prime powers and rewards chosen so no subset-sum ratio collides.
+  Game g(System::from_integer_powers({100, 10, 1}, 2),
+         RewardFunction::from_integers({7, 1000000}));
+  EXPECT_TRUE(is_generic(g));
+}
+
+TEST(Genericity, EqualRewardsAlwaysViolate) {
+  // c ≠ c' with F(c) == F(c') and P == P' violates Assumption 2 trivially.
+  Game g(System::from_integer_powers({3, 5}, 2),
+         RewardFunction::from_integers({9, 9}));
+  EXPECT_FALSE(is_generic(g));
+}
+
+TEST(Genericity, RefusesHugeGames) {
+  Game g(System::from_integer_powers(std::vector<std::int64_t>(25, 1), 2),
+         RewardFunction::from_integers({1, 2}));
+  EXPECT_THROW(find_genericity_violation(g), std::invalid_argument);
+}
+
+TEST(NeverAlone, ViolatedWithFewMiners) {
+  // 2 miners, 2 coins, wildly uneven rewards: the configuration with both
+  // on the heavy coin leaves the light coin unwanted when its reward is
+  // too small to tempt anyone.
+  Game g(System::from_integer_powers({10, 10}, 2),
+         RewardFunction::from_integers({1000, 1}));
+  const auto violation = find_never_alone_violation(g);
+  ASSERT_TRUE(violation.has_value());
+}
+
+TEST(NeverAlone, HoldsWithManyMinersBalancedRewards) {
+  Game g(System::from_integer_powers({3, 3, 3, 3, 3, 3}, 2),
+         RewardFunction::from_integers({10, 10}));
+  EXPECT_FALSE(find_never_alone_violation(g).has_value());
+}
+
+TEST(NeverAlone, PerConfigurationCheck) {
+  Game g(System::from_integer_powers({3, 3, 3, 3}, 2),
+         RewardFunction::from_integers({10, 10}));
+  // Everyone on c0: c1 is empty and attractive → no violation at s.
+  const Configuration all0 =
+      Configuration::all_at(g.system_ptr(), CoinId(0));
+  EXPECT_FALSE(never_alone_violation_at(g, all0).has_value());
+}
+
+// --------------------------------------------------------------- Section 4
+
+TEST(Claim7, BiggerMinerInheritsStability) {
+  Rng rng(23);
+  for (int trial = 0; trial < 30; ++trial) {
+    GameSpec spec;
+    spec.num_miners = 6;
+    spec.num_coins = 3;
+    const Game g = random_game(spec, rng);
+    const Configuration s = random_configuration(g, rng);
+    for (std::uint32_t a = 0; a < 6; ++a) {
+      for (std::uint32_t b = 0; b < 6; ++b) {
+        if (a == b) continue;
+        const MinerId p(a), q(b);
+        if (s.of(p) != s.of(q)) continue;
+        if (g.system().power(p) > g.system().power(q)) continue;
+        EXPECT_TRUE(claim7_implies_stable(g, s, p, q));
+      }
+    }
+  }
+}
+
+TEST(Lemma2, ProducesTwoDistinctConfigurations) {
+  Rng rng(29);
+  GameSpec spec;
+  spec.num_miners = 8;
+  spec.num_coins = 3;
+  spec.distinct_powers = true;
+  spec.sort_desc = true;
+  const Game g = random_game(spec, rng);
+  const auto [a, b] = lemma2_two_configurations(g);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Lemma2, BothStableUnderAssumptionFriendlyGames) {
+  // Many equal-ish miners vs few coins ⇒ Assumption 1 regime; rewards
+  // spread to be generic-ish. Both constructed configurations should be
+  // equilibria (Lemma 2's conclusion).
+  Rng rng(31);
+  int both_stable = 0;
+  int trials = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    GameSpec spec;
+    spec.num_miners = 10;
+    spec.num_coins = 2;
+    spec.power_lo = 1;
+    spec.power_hi = 40;
+    spec.distinct_powers = true;
+    spec.sort_desc = true;
+    Rng local(seed * 7919 + 13);
+    const Game g = random_game(spec, local);
+    const auto [a, b] = lemma2_two_configurations(g);
+    ++trials;
+    if (is_equilibrium(g, a) && is_equilibrium(g, b)) ++both_stable;
+  }
+  // The construction is stable in the assumption regime; allow rare
+  // boundary cases where random rewards break Assumption 1.
+  EXPECT_GE(both_stable, trials - 2);
+}
+
+TEST(Proposition2, EveryEquilibriumHasBetterForSomeMiner) {
+  // Exhaustive check on small generic games with ≥ 2 equilibria.
+  Rng rng(37);
+  int games_checked = 0;
+  for (std::uint64_t seed = 0; seed < 40 && games_checked < 8; ++seed) {
+    GameSpec spec;
+    spec.num_miners = 6;
+    spec.num_coins = 2;
+    spec.power_lo = 1;
+    spec.power_hi = 60;
+    spec.distinct_powers = true;
+    spec.sort_desc = true;
+    Rng local(seed * 104729 + 7);
+    const Game g = random_game(spec, local);
+    if (find_never_alone_violation(g).has_value()) continue;
+    if (!is_generic(g)) continue;
+    const auto eqs = enumerate_equilibria(g);
+    if (eqs.size() < 2) continue;
+    ++games_checked;
+    for (const auto& s : eqs) {
+      const auto witness = find_better_equilibrium(g, s, eqs);
+      ASSERT_TRUE(witness.has_value()) << "no better equilibrium from " << s.to_string();
+      EXPECT_GT(witness->payoff_after, witness->payoff_before);
+    }
+  }
+  EXPECT_GE(games_checked, 3) << "assumption-satisfying games too rare";
+}
+
+TEST(FindBetterEquilibrium, NoneWhenListEmpty) {
+  const Game g(System::from_integer_powers({2, 1}, 2),
+               RewardFunction::from_integers({1, 1}));
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1)});
+  EXPECT_FALSE(find_better_equilibrium(g, s, {}).has_value());
+  EXPECT_FALSE(find_better_equilibrium(g, s, {s}).has_value());
+}
+
+}  // namespace
+}  // namespace goc

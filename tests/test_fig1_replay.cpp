@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "chain/chain_sim.hpp"
+#include "chain/difficulty.hpp"
+#include "market/fig1_replay.hpp"
+
+namespace goc::market {
+namespace {
+
+// --------------------------------------------------------- reward hook
+
+TEST(RewardHook, UpdatesFiatRewardsPerEpoch) {
+  using namespace goc::chain;
+  std::vector<ChainSpec> chains;
+  chains.push_back(ChainSpec{"c", 10.0, 1.0 / 6.0, 100.0,
+                             std::make_unique<FixedWindowRetarget>(10, 1.0 / 6.0)});
+  ChainSimOptions opts;
+  opts.duration_hours = 10.0;
+  opts.policy = MinerPolicy::kStatic;
+  opts.seed = 1;
+  MultiChainSimulator sim({60.0}, std::move(chains), opts);
+  // Reward doubles every hour; the timeline must reflect it.
+  sim.set_reward_hook([](std::size_t, double t) { return 100.0 + 50.0 * t; });
+  const auto result = sim.run();
+  ASSERT_GE(result.timeline.size(), 2u);
+  EXPECT_LT(result.timeline.front().reward_fiat[0],
+            result.timeline.back().reward_fiat[0]);
+  EXPECT_NEAR(result.timeline.back().reward_fiat[0],
+              100.0 + 50.0 * result.timeline.back().t_hours, 1e-9);
+}
+
+TEST(RewardHook, NonpositiveRewardRejected) {
+  using namespace goc::chain;
+  std::vector<ChainSpec> chains;
+  chains.push_back(ChainSpec{"c", 10.0, 1.0 / 6.0, 100.0,
+                             std::make_unique<FixedWindowRetarget>(10, 1.0 / 6.0)});
+  ChainSimOptions opts;
+  opts.duration_hours = 5.0;
+  opts.seed = 1;
+  MultiChainSimulator sim({60.0}, std::move(chains), opts);
+  sim.set_reward_hook([](std::size_t, double) { return 0.0; });
+  EXPECT_THROW(sim.run(), InvariantError);
+}
+
+TEST(MyopicHysteresis, SuppressesMarginalSwitching) {
+  using namespace goc::chain;
+  // Two chains, 5% profitability difference. Without hysteresis everyone
+  // migrates to the slightly better one; with a 10% threshold nobody moves.
+  const auto build = [](double hysteresis) {
+    std::vector<ChainSpec> chains;
+    chains.push_back(ChainSpec{"a", 10.0, 1.0 / 6.0, 100.0,
+                               std::make_unique<FixedWindowRetarget>(1000000, 1.0 / 6.0)});
+    chains.push_back(ChainSpec{"b", 10.0, 1.0 / 6.0, 105.0,
+                               std::make_unique<FixedWindowRetarget>(1000000, 1.0 / 6.0)});
+    ChainSimOptions opts;
+    opts.duration_hours = 24.0;
+    opts.policy = MinerPolicy::kMyopicDifficulty;
+    opts.reevaluation_fraction = 1.0;
+    opts.myopic_hysteresis = hysteresis;
+    opts.seed = 3;
+    std::vector<std::size_t> split{0, 0, 1, 1};
+    return MultiChainSimulator({10, 10, 10, 10}, std::move(chains), opts,
+                               std::move(split));
+  };
+  auto frictionless = build(0.0);
+  EXPECT_GT(frictionless.run().migrations, 0u);
+  auto frictional = build(0.10);
+  EXPECT_EQ(frictional.run().migrations, 0u);
+}
+
+// --------------------------------------------------------- fig1 replay
+
+TEST(Fig1Replay, ReproducesTheThreePhaseShape) {
+  Fig1ReplayParams params;
+  params.days = 24.0;
+  params.shock_day = 10.0;
+  params.revert_day = 13.0;
+  const Fig1ReplayResult result = run_fig1_replay(params);
+  EXPECT_GT(result.flip_window_share, result.pre_shock_share);
+  EXPECT_LT(result.post_revert_share, result.flip_window_share);
+  EXPECT_GT(result.migrations, 100u);  // sustained EDA churn
+  ASSERT_EQ(result.series.size(), static_cast<std::size_t>(params.days * 24.0));
+}
+
+TEST(Fig1Replay, SeriesInternallyConsistent) {
+  Fig1ReplayParams params;
+  params.days = 10.0;
+  params.shock_day = 4.0;
+  params.revert_day = 6.0;
+  const Fig1ReplayResult result = run_fig1_replay(params);
+  double total_hash = result.series.front().major_hash +
+                      result.series.front().minor_hash;
+  for (const Fig1ReplayPoint& p : result.series) {
+    EXPECT_GT(p.major_price, 0.0);
+    EXPECT_GT(p.minor_price, 0.0);
+    EXPECT_GT(p.minor_difficulty, 0.0);
+    // Hashpower is conserved (miners only migrate).
+    EXPECT_NEAR(p.major_hash + p.minor_hash, total_hash, 1e-6);
+  }
+  // The scripted spike is visible in the minor price path.
+  const auto at_day = [&](double d) {
+    return result.series[static_cast<std::size_t>(d * 24.0)].minor_price;
+  };
+  EXPECT_GT(at_day(4.5), 2.0 * at_day(3.5));
+}
+
+TEST(Fig1Replay, DeterministicPerSeed) {
+  Fig1ReplayParams params;
+  params.days = 6.0;
+  params.shock_day = 2.0;
+  params.revert_day = 4.0;
+  const Fig1ReplayResult a = run_fig1_replay(params);
+  const Fig1ReplayResult b = run_fig1_replay(params);
+  ASSERT_EQ(a.series.size(), b.series.size());
+  EXPECT_EQ(a.migrations, b.migrations);
+  for (std::size_t i = 0; i < a.series.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.series[i].minor_hash, b.series[i].minor_hash);
+    EXPECT_DOUBLE_EQ(a.series[i].minor_price, b.series[i].minor_price);
+  }
+}
+
+TEST(Fig1Replay, ValidatesParameters) {
+  Fig1ReplayParams params;
+  params.shock_day = 20.0;
+  params.revert_day = 10.0;
+  EXPECT_THROW(run_fig1_replay(params), std::invalid_argument);
+  Fig1ReplayParams tiny;
+  tiny.miners = 2;
+  EXPECT_THROW(run_fig1_replay(tiny), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace goc::market

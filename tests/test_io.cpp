@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/generators.hpp"
+#include "core/moves.hpp"
+#include "io/serialize.hpp"
+
+namespace goc::io {
+namespace {
+
+TEST(Serialize, GameRoundTripSimple) {
+  Game g(System::from_integer_powers({5, 3, 1}, 2),
+         RewardFunction::from_integers({10, 7}));
+  const Game back = game_from_text(to_text(g));
+  EXPECT_EQ(back.system().powers(), g.system().powers());
+  EXPECT_EQ(back.rewards().values(), g.rewards().values());
+  EXPECT_TRUE(back.access().is_unrestricted());
+}
+
+TEST(Serialize, GameRoundTripRationalPowers) {
+  Game g(System({Rational(5, 3), Rational(1, 2)}, 2),
+         RewardFunction({Rational(22, 7), Rational(3)}));
+  const Game back = game_from_text(to_text(g));
+  EXPECT_EQ(back.system().powers(), g.system().powers());
+  EXPECT_EQ(back.rewards().values(), g.rewards().values());
+}
+
+TEST(Serialize, GameRoundTripWithAccess) {
+  Game g(System::from_integer_powers({4, 2}, 3),
+         RewardFunction::from_integers({6, 5, 4}),
+         AccessPolicy({{true, true, false}, {false, true, true}}));
+  const Game back = game_from_text(to_text(g));
+  EXPECT_FALSE(back.access().is_unrestricted());
+  for (std::uint32_t p = 0; p < 2; ++p) {
+    for (std::uint32_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(back.can_mine(MinerId(p), CoinId(c)),
+                g.can_mine(MinerId(p), CoinId(c)));
+    }
+  }
+}
+
+TEST(Serialize, RoundTripPropertyOnRandomGames) {
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    GameSpec spec;
+    spec.num_miners = 1 + static_cast<std::size_t>(rng.next_below(12));
+    spec.num_coins = 1 + static_cast<std::size_t>(rng.next_below(5));
+    spec.distinct_powers = rng.bernoulli(0.5);
+    Game g = random_game(spec, rng);
+    if (rng.bernoulli(0.5)) {
+      Rng arng = rng.split();
+      g = Game(g.system_ptr(), g.rewards(),
+               AccessPolicy::random(g.num_miners(), g.num_coins(), 0.6, arng));
+    }
+    const Game back = game_from_text(to_text(g));
+    ASSERT_EQ(back.system().powers(), g.system().powers());
+    ASSERT_EQ(back.rewards().values(), g.rewards().values());
+    // Behavioral equivalence probe: same equilibrium predicate on a random
+    // configuration.
+    const Configuration s = random_configuration(g, rng);
+    const Configuration s2(back.system_ptr(), s.assignment());
+    EXPECT_EQ(is_equilibrium(g, s), is_equilibrium(back, s2));
+  }
+}
+
+TEST(Serialize, ConfigurationRoundTrip) {
+  Game g(System::from_integer_powers({5, 3, 1}, 3),
+         RewardFunction::from_integers({10, 7, 2}));
+  const Configuration s(g.system_ptr(), {CoinId(2), CoinId(0), CoinId(1)});
+  const Configuration back =
+      configuration_from_text(to_text(s), g.system_ptr());
+  EXPECT_TRUE(back == s);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# a scenario\n\ngoc-game v1\nminers 2\n"
+      "powers 2 1  # big and small\ncoins 2\nrewards 1 1\n";
+  const Game g = game_from_text(text);
+  EXPECT_EQ(g.num_miners(), 2u);
+  EXPECT_EQ(g.system().power(MinerId(0)), Rational(2));
+}
+
+TEST(Serialize, MalformedInputsRejected) {
+  EXPECT_THROW(game_from_text(""), std::invalid_argument);
+  EXPECT_THROW(game_from_text("goc-game v2\n"), std::invalid_argument);
+  EXPECT_THROW(game_from_text("goc-game v1\nminers x\n"), std::invalid_argument);
+  EXPECT_THROW(
+      game_from_text("goc-game v1\nminers 2\npowers 1\ncoins 1\nrewards 1\n"),
+      std::invalid_argument);  // wrong arity
+  EXPECT_THROW(
+      game_from_text(
+          "goc-game v1\nminers 1\npowers 1/0\ncoins 1\nrewards 1\n"),
+      std::invalid_argument);  // zero denominator
+  EXPECT_THROW(
+      game_from_text(
+          "goc-game v1\nminers 1\npowers -1\ncoins 1\nrewards 1\n"),
+      std::invalid_argument);  // nonpositive power
+  EXPECT_THROW(
+      game_from_text("goc-game v1\nminers 1\npowers 1\ncoins 1\nrewards 1\n"
+                     "access 2\n"),
+      std::invalid_argument);  // bad access flag
+}
+
+TEST(Serialize, ConfigurationErrors) {
+  auto system = std::make_shared<const System>(
+      System::from_integer_powers({1, 1}, 2));
+  EXPECT_THROW(configuration_from_text("goc-config v1\nassignment 0\n", system),
+               std::invalid_argument);  // arity
+  EXPECT_THROW(
+      configuration_from_text("goc-config v1\nassignment 0 5\n", system),
+      std::invalid_argument);  // coin range
+  EXPECT_THROW(configuration_from_text("nonsense\n", system),
+               std::invalid_argument);
+}
+
+TEST(Serialize, RationalHelpers) {
+  EXPECT_EQ(rational_from_text("22/7"), Rational(22, 7));
+  EXPECT_EQ(rational_from_text("-3"), Rational(-3));
+  EXPECT_EQ(rational_from_text(rational_to_text(Rational(355, 113))),
+            Rational(355, 113));
+  EXPECT_THROW(rational_from_text("abc"), std::invalid_argument);
+  EXPECT_THROW(rational_from_text("1/0"), std::invalid_argument);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  Game g(System::from_integer_powers({9, 4}, 2),
+         RewardFunction::from_integers({3, 8}));
+  const std::string game_path = "/tmp/goc_io_test_game.txt";
+  const std::string config_path = "/tmp/goc_io_test_config.txt";
+  save_game(g, game_path);
+  const Game back = load_game(game_path);
+  EXPECT_EQ(back.system().powers(), g.system().powers());
+
+  const Configuration s(g.system_ptr(), {CoinId(1), CoinId(0)});
+  save_configuration(s, config_path);
+  const Configuration sback = load_configuration(config_path, g.system_ptr());
+  EXPECT_TRUE(sback == s);
+  std::remove(game_path.c_str());
+  std::remove(config_path.c_str());
+
+  EXPECT_THROW(load_game("/nonexistent/dir/game.txt"), std::runtime_error);
+  EXPECT_THROW(save_game(g, "/nonexistent/dir/game.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace goc::io

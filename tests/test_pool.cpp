@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pool/pool_sim.hpp"
+#include "pool/reward_scheme.hpp"
+
+namespace goc::pool {
+namespace {
+
+// -------------------------------------------------------------- schemes
+
+TEST(Proportional, SplitsRoundByShares) {
+  ProportionalScheme scheme;
+  scheme.begin(2);
+  scheme.on_share(0);
+  scheme.on_share(0);
+  scheme.on_share(1);
+  scheme.on_block(30.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 20.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[1], 10.0);
+  // New round starts empty.
+  scheme.on_share(1);
+  scheme.on_block(30.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 20.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[1], 40.0);
+}
+
+TEST(Proportional, BlockWithoutSharesPaysNobody) {
+  ProportionalScheme scheme;
+  scheme.begin(2);
+  scheme.on_block(50.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 0.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[1], 0.0);
+}
+
+TEST(Pps, PaysPerShareAndOperatorAbsorbsVariance) {
+  PpsScheme scheme(100.0, 50.0, 0.05);  // per-share = 100·0.95/50 = 1.9
+  scheme.begin(2);
+  scheme.on_share(0);
+  scheme.on_share(1);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 1.9);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[1], 1.9);
+  EXPECT_DOUBLE_EQ(scheme.operator_balance(), -3.8);
+  scheme.on_block(100.0);
+  EXPECT_DOUBLE_EQ(scheme.operator_balance(), 96.2);
+  // Member payouts unaffected by block luck.
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 1.9);
+}
+
+TEST(Pps, ParameterValidation) {
+  EXPECT_THROW(PpsScheme(0.0, 50.0, 0.05), std::invalid_argument);
+  EXPECT_THROW(PpsScheme(100.0, 0.0, 0.05), std::invalid_argument);
+  EXPECT_THROW(PpsScheme(100.0, 50.0, 1.0), std::invalid_argument);
+}
+
+TEST(Pplns, PaysLastNAcrossRounds) {
+  PplnsScheme scheme(3);
+  scheme.begin(2);
+  scheme.on_share(0);  // falls out of the window later
+  scheme.on_share(0);
+  scheme.on_share(1);
+  scheme.on_share(1);  // window now: {0, 1, 1}
+  scheme.on_block(30.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 10.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[1], 20.0);
+  // Shares persist across the block: another block pays the same window.
+  scheme.on_block(30.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 20.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[1], 40.0);
+}
+
+TEST(Pplns, ShortWindowAtStart) {
+  PplnsScheme scheme(10);
+  scheme.begin(1);
+  scheme.on_share(0);
+  scheme.on_block(10.0);
+  EXPECT_DOUBLE_EQ(scheme.payouts()[0], 10.0);  // whole reward to 1 share
+}
+
+TEST(Schemes, FactoryProducesAllKinds) {
+  for (const SchemeKind kind :
+       {SchemeKind::kProportional, SchemeKind::kPps, SchemeKind::kPplns}) {
+    auto scheme = make_scheme(kind, 100.0, 500.0);
+    ASSERT_NE(scheme, nullptr);
+    scheme->begin(3);
+    scheme->on_share(1);
+    scheme->on_block(100.0);
+  }
+}
+
+// ------------------------------------------------------------- simulation
+
+TEST(PoolSim, ProportionalPayoutsTrackHashrates) {
+  PoolSimOptions opts;
+  opts.duration_hours = 24.0 * 120;
+  opts.shares_per_block = 100.0;
+  opts.seed = 5;
+  const std::vector<double> rates{50.0, 30.0, 20.0};
+  for (const SchemeKind kind :
+       {SchemeKind::kProportional, SchemeKind::kPps, SchemeKind::kPplns}) {
+    auto scheme = make_scheme(kind, opts.reward_per_block, opts.shares_per_block);
+    const PoolSimResult result = simulate_pool(rates, *scheme, opts);
+    EXPECT_LT(result.proportionality_error, 0.02) << scheme->name();
+    EXPECT_GT(result.blocks_found, 100u);
+  }
+}
+
+TEST(PoolSim, PoolingReducesIncomeVariance) {
+  // A 5%-hashrate member in a pool vs mining solo: daily income CV drops
+  // by an order of magnitude — the smoothing that justifies the paper's
+  // expected-value payoff model.
+  PoolSimOptions opts;
+  opts.duration_hours = 24.0 * 240;
+  opts.shares_per_block = 200.0;
+  opts.seed = 7;
+
+  PplnsScheme pooled(200);
+  const PoolSimResult pool =
+      simulate_pool({5.0, 95.0}, pooled, opts);
+
+  ProportionalScheme solo_scheme;  // a pool of one IS solo mining
+  const PoolSimResult solo = simulate_pool({5.0}, solo_scheme, opts);
+
+  EXPECT_LT(pool.members[0].window_income_cv,
+            0.5 * solo.members[0].window_income_cv);
+  // Same expected income either way (within tolerance).
+  EXPECT_NEAR(pool.members[0].mean_window_income,
+              solo.members[0].mean_window_income,
+              0.35 * solo.members[0].mean_window_income);
+}
+
+TEST(PoolSim, PpsOperatorBreaksEvenOnAverage) {
+  PoolSimOptions opts;
+  opts.duration_hours = 24.0 * 360;
+  opts.shares_per_block = 100.0;
+  opts.seed = 9;
+  PpsScheme scheme(opts.reward_per_block, opts.shares_per_block, 0.05);
+  const PoolSimResult result = simulate_pool({40.0, 60.0}, scheme, opts);
+  // Operator collects ~5% of total block income (the fee), subject to luck.
+  const double block_income =
+      static_cast<double>(result.blocks_found) * opts.reward_per_block;
+  EXPECT_NEAR(result.operator_balance / block_income, 0.05, 0.03);
+}
+
+TEST(PoolSim, InputValidation) {
+  PoolSimOptions opts;
+  ProportionalScheme scheme;
+  EXPECT_THROW(simulate_pool({}, scheme, opts), std::invalid_argument);
+  EXPECT_THROW(simulate_pool({-1.0}, scheme, opts), std::invalid_argument);
+  opts.duration_hours = 0.0;
+  EXPECT_THROW(simulate_pool({1.0}, scheme, opts), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- hopping
+
+TEST(Hopping, ProportionalDecaysWithRoundAge) {
+  PoolSimOptions opts;
+  opts.shares_per_block = 200.0;
+  Rng rng(11);
+  const auto profile =
+      hopping_profile(SchemeKind::kProportional, opts, 6, rng, 8000);
+  ASSERT_EQ(profile.size(), 6u);
+  // Early shares are strictly more valuable than late ones (Rosenfeld's
+  // classic hopping incentive).
+  EXPECT_GT(profile.front(), 1.2 * profile.back());
+  // Monotone decreasing up to sampling noise in the tail buckets.
+  EXPECT_GT(profile[0], profile[2]);
+  EXPECT_GT(profile[1], profile[3]);
+}
+
+TEST(Hopping, PplnsAndPpsAreFlat) {
+  PoolSimOptions opts;
+  opts.shares_per_block = 200.0;
+  for (const SchemeKind kind : {SchemeKind::kPplns, SchemeKind::kPps}) {
+    Rng rng(13);
+    const auto profile = hopping_profile(kind, opts, 6, rng, 8000);
+    double lo = profile[0], hi = profile[0];
+    for (const double v : profile) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    EXPECT_LT(hi / lo, 1.15) << static_cast<int>(kind);
+  }
+}
+
+TEST(Hopping, ExpectedValuePerShareMatchesTheory) {
+  // PPS pays exactly reward·(1−fee)/spb per share by construction.
+  PoolSimOptions opts;
+  opts.shares_per_block = 100.0;
+  opts.reward_per_block = 100.0;
+  Rng rng(17);
+  const auto profile = hopping_profile(SchemeKind::kPps, opts, 4, rng, 2000);
+  for (const double v : profile) {
+    EXPECT_NEAR(v, 100.0 * 0.95 / 100.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace goc::pool

@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include "core/generators.hpp"
+#include "core/moves.hpp"
+#include "potential/exact_potential.hpp"
+#include "potential/list_potential.hpp"
+#include "potential/observations.hpp"
+#include "potential/symmetric_potential.hpp"
+
+namespace goc {
+namespace {
+
+// ------------------------------------------------------------- PotentialKey
+
+TEST(PotentialKey, SortsByRpuThenCoin) {
+  Game g(System::from_integer_powers({4, 2, 1}, 3),
+         RewardFunction::from_integers({8, 8, 5}));
+  // c0 gets {p0} → RPU 2; c1 gets {p1} → RPU 4; c2 gets {p2} → RPU 5.
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1), CoinId(2)});
+  const PotentialKey key = potential_key(g, s);
+  ASSERT_EQ(key.entries().size(), 3u);
+  EXPECT_EQ(key.coin_at(0), CoinId(0));
+  EXPECT_EQ(key.coin_at(1), CoinId(1));
+  EXPECT_EQ(key.coin_at(2), CoinId(2));
+}
+
+TEST(PotentialKey, EmptyCoinSortsLast) {
+  Game g(System::from_integer_powers({4, 2}, 3),
+         RewardFunction::from_integers({8, 8, 1000}));
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1)});
+  const PotentialKey key = potential_key(g, s);
+  EXPECT_EQ(key.coin_at(2), CoinId(2));
+  EXPECT_TRUE(key.entries()[2].first.is_infinite());
+}
+
+TEST(PotentialKey, TieBreaksOnCoinId) {
+  Game g(System::from_integer_powers({2, 2}, 2),
+         RewardFunction::from_integers({4, 4}));
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1)});
+  const PotentialKey key = potential_key(g, s);
+  EXPECT_EQ(key.coin_at(0), CoinId(0));  // equal RPUs: lower id first
+  EXPECT_EQ(key.coin_at(1), CoinId(1));
+}
+
+TEST(PotentialKey, ComparesLexicographically) {
+  const Game g = proposition1_game();
+  const Configuration shared(g.system_ptr(), {CoinId(0), CoinId(0)});
+  const Configuration split(g.system_ptr(), {CoinId(0), CoinId(1)});
+  // Moving p1 out of the shared coin is a better response, so the key
+  // strictly increases (Theorem 1).
+  EXPECT_LT(potential_key(g, shared), potential_key(g, split));
+  EXPECT_EQ(compare_potential(g, shared, split), std::strong_ordering::less);
+}
+
+// --------------------------------------------------------------- Theorem 1
+
+/// Property sweep: along any better-response trajectory, the potential key
+/// strictly ascends and Observations 1–2 hold at every step.
+class Theorem1Property : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Theorem1Property, AscentOnRandomTrajectories) {
+  Rng rng(GetParam());
+  GameSpec spec;
+  spec.num_miners = 2 + static_cast<std::size_t>(rng.next_below(10));
+  spec.num_coins = 2 + static_cast<std::size_t>(rng.next_below(4));
+  spec.power_lo = 1;
+  spec.power_hi = 50;
+  spec.reward_lo = 10;
+  spec.reward_hi = 500;
+  const Game g = random_game(spec, rng);
+  Configuration s = random_configuration(g, rng);
+
+  PotentialKey prev = potential_key(g, s);
+  std::vector<Configuration> trajectory{s};
+  for (int step = 0; step < 500; ++step) {
+    const auto moves = all_better_response_moves(g, s);
+    if (moves.empty()) break;
+    const Move& m = moves[rng.pick_index(moves)];
+    ASSERT_TRUE(observation1_holds(g, s, m)) << m.to_string();
+    ASSERT_TRUE(observation2_holds(g, s, m)) << m.to_string();
+    s.move(m.miner, m.to);
+    trajectory.push_back(s);
+    PotentialKey cur = potential_key(g, s);
+    ASSERT_LT(prev, cur) << "potential failed to ascend at step " << step;
+    prev = std::move(cur);
+  }
+  EXPECT_TRUE(is_equilibrium(g, s)) << "did not converge within 500 steps";
+  EXPECT_EQ(first_non_ascending_step(g, trajectory), trajectory.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Theorem1Property,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+TEST(Theorem1, FirstNonAscendingDetectsViolations) {
+  const Game g = proposition1_game();
+  const Configuration shared(g.system_ptr(), {CoinId(0), CoinId(0)});
+  const Configuration split(g.system_ptr(), {CoinId(0), CoinId(1)});
+  // split → shared is a payoff *decrease*: flagged at index 1.
+  EXPECT_EQ(first_non_ascending_step(g, {split, shared}), 1u);
+  EXPECT_EQ(first_non_ascending_step(g, {shared, split}), 2u);
+  EXPECT_EQ(first_non_ascending_step(g, {shared}), 1u);
+  EXPECT_EQ(first_non_ascending_step(g, {}), 0u);
+}
+
+// ----------------------------------------------------------- Proposition 1
+
+TEST(Proposition1, PaperCycleSumIsTwoThirds) {
+  const Game g = proposition1_game();
+  const Configuration s1(g.system_ptr(), {CoinId(0), CoinId(0)});
+  // p moves c0→c1, q moves c0→c1, p back, q back: the paper's 4-cycle.
+  const Rational sum =
+      four_cycle_sum(g, s1, MinerId(0), CoinId(1), MinerId(1), CoinId(1));
+  EXPECT_EQ(sum.abs(), Rational(2, 3));
+}
+
+TEST(Proposition1, WitnessFound) {
+  const auto witness = find_nonzero_four_cycle(proposition1_game());
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_FALSE(witness->cycle_sum.is_zero());
+  EXPECT_NE(witness->p, witness->q);
+}
+
+TEST(Proposition1, NoExactPotentialForUnequalPowers) {
+  EXPECT_FALSE(has_exact_potential(proposition1_game()));
+}
+
+TEST(Proposition1, EqualPowersYieldExactPotential) {
+  // With identical miners the game is a congestion game, which *does* have
+  // an exact potential — the obstruction is specifically unequal powers.
+  Game g(System::from_integer_powers({1, 1}, 2),
+         RewardFunction::from_integers({1, 1}));
+  EXPECT_TRUE(has_exact_potential(g));
+  EXPECT_FALSE(find_nonzero_four_cycle(g).has_value());
+}
+
+TEST(Proposition1, RandomUnequalGamesLackExactPotential) {
+  Rng rng(99);
+  int found = 0;
+  for (int trial = 0; trial < 10; ++trial) {
+    GameSpec spec;
+    spec.num_miners = 3;
+    spec.num_coins = 2;
+    spec.power_lo = 1;
+    spec.power_hi = 20;
+    spec.distinct_powers = true;
+    const Game g = random_game(spec, rng);
+    if (find_nonzero_four_cycle(g).has_value()) ++found;
+  }
+  // Distinct powers make the obstruction generic.
+  EXPECT_EQ(found, 10);
+}
+
+TEST(Proposition1, FourCycleRequiresDistinctMiners) {
+  const Game g = proposition1_game();
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(0)});
+  EXPECT_THROW(
+      four_cycle_sum(g, s, MinerId(0), CoinId(1), MinerId(0), CoinId(1)),
+      std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Appendix B
+
+class SymmetricPotentialProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SymmetricPotentialProperty, StrictDecreaseOnBetterResponses) {
+  Rng rng(GetParam());
+  GameSpec spec;
+  spec.num_miners = 2 + static_cast<std::size_t>(rng.next_below(8));
+  spec.num_coins = 2 + static_cast<std::size_t>(rng.next_below(4));
+  spec.reward_shape = RewardShape::kEqual;
+  spec.power_lo = 1;
+  spec.power_hi = 30;
+  const Game g = random_game(spec, rng);
+  ASSERT_TRUE(g.rewards().is_symmetric());
+  Configuration s = random_configuration(g, rng);
+  SymmetricPotential prev = symmetric_potential(g, s);
+  for (int step = 0; step < 300; ++step) {
+    const auto moves = all_better_response_moves(g, s);
+    if (moves.empty()) break;
+    const Move& m = moves[rng.pick_index(moves)];
+    s.move(m.miner, m.to);
+    const SymmetricPotential cur = symmetric_potential(g, s);
+    ASSERT_LT(cur, prev) << "symmetric potential failed to decrease";
+    prev = cur;
+  }
+  EXPECT_TRUE(is_equilibrium(g, s));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SymmetricPotentialProperty,
+                         ::testing::Range<std::uint64_t>(100, 120));
+
+TEST(SymmetricPotential, RequiresSymmetricGame) {
+  Game g(System::from_integer_powers({1, 2}, 2),
+         RewardFunction::from_integers({1, 2}));
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1)});
+  EXPECT_THROW(symmetric_potential(g, s), std::invalid_argument);
+}
+
+TEST(SymmetricPotential, MatchesPaperFormulaWhenAllOccupied) {
+  Game g(System::from_integer_powers({4, 2, 2}, 2),
+         RewardFunction::from_integers({6, 6}));
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1), CoinId(1)});
+  const SymmetricPotential p = symmetric_potential(g, s);
+  EXPECT_EQ(p.empty_coins, 0u);
+  EXPECT_EQ(p.occupied_inverse_mass_sum, Rational(1, 4) + Rational(1, 4));
+}
+
+TEST(SymmetricPotential, SoloMinerNeverMovesInSymmetricGame) {
+  // A miner alone on a coin cannot improve in the symmetric case — the
+  // fact the empty-coin refinement relies on (DESIGN.md §2).
+  Game g(System::from_integer_powers({3, 1}, 3),
+         RewardFunction::from_integers({5, 5, 5}));
+  const Configuration s(g.system_ptr(), {CoinId(0), CoinId(1)});
+  EXPECT_TRUE(is_stable(g, s, MinerId(0)));
+  EXPECT_TRUE(is_stable(g, s, MinerId(1)));
+}
+
+}  // namespace
+}  // namespace goc

@@ -1,0 +1,214 @@
+#include "util/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "util/xrational.hpp"
+
+namespace goc {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.to_string(), "0");
+  EXPECT_EQ(r.denominator(), 1);
+}
+
+TEST(Rational, IntegerConstruction) {
+  Rational r(7);
+  EXPECT_TRUE(r.is_integer());
+  EXPECT_EQ(r.to_string(), "7");
+  EXPECT_EQ(Rational(-3).to_string(), "-3");
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(1, -2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(6, -3).to_string(), "-2");
+  EXPECT_GT(Rational(1, 2).denominator(), 0);
+  EXPECT_GT(Rational(1, -2).denominator(), 0);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+  EXPECT_THROW(Rational::from_parts(5, 0), std::invalid_argument);
+}
+
+TEST(Rational, ZeroNumeratorCanonical) {
+  EXPECT_EQ(Rational(0, 17), Rational(0));
+  EXPECT_EQ(Rational(0, -5).denominator(), 1);
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) + Rational(-1, 2), Rational(0));
+  EXPECT_EQ(Rational(2, 3) + Rational(1, 3), Rational(1));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(1, 3) - Rational(1, 2), Rational(-1, 6));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 3) * Rational(3, 2), Rational(-1));
+  EXPECT_EQ(Rational(0) * Rational(7, 9), Rational(0));
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, ReciprocalAndAbs) {
+  EXPECT_EQ(Rational(2, 3).reciprocal(), Rational(3, 2));
+  EXPECT_EQ(Rational(-2, 3).reciprocal(), Rational(-3, 2));
+  EXPECT_THROW(Rational(0).reciprocal(), std::domain_error);
+  EXPECT_EQ(Rational(-5, 7).abs(), Rational(5, 7));
+}
+
+TEST(Rational, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(2, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(-1, 3));
+  EXPECT_LT(Rational(-1), Rational(0));
+  EXPECT_LT(Rational(0), Rational(1, 1000000));
+  EXPECT_EQ(Rational(3, 9) <=> Rational(1, 3), std::strong_ordering::equal);
+}
+
+TEST(Rational, ComparisonSurvivesHugeCrossProducts) {
+  // Cross products of these exceed 128 bits; the continued-fraction path
+  // must take over and still give the exact answer.
+  const Rational a = Rational::from_parts(
+      (static_cast<i128>(1) << 100) + 1, (static_cast<i128>(1) << 99) + 7);
+  const Rational b = Rational::from_parts(
+      (static_cast<i128>(1) << 100) + 3, (static_cast<i128>(1) << 99) + 5);
+  EXPECT_NE(a, b);
+  // a ≈ 2, b ≈ 2; exact order: a < b iff a_num·b_den < b_num·a_den.
+  // Verify consistency: exactly one of <, > holds and it is antisymmetric.
+  const bool lt = a < b;
+  const bool gt = b < a;
+  EXPECT_NE(lt, gt);
+}
+
+TEST(Rational, AdditionOverflowThrows) {
+  const Rational big = Rational::from_parts((static_cast<i128>(1) << 126), 1);
+  EXPECT_THROW(big + big, OverflowError);
+}
+
+TEST(Rational, MultiplicationOverflowThrows) {
+  const Rational big = Rational::from_parts((static_cast<i128>(1) << 100), 1);
+  EXPECT_THROW(big * big, OverflowError);
+}
+
+TEST(Rational, MultiplicationReducesBeforeOverflow) {
+  // (2^100/3) * (3/2^100) = 1 must not overflow thanks to cross-reduction.
+  const Rational a = Rational::from_parts(static_cast<i128>(1) << 100, 3);
+  const Rational b = Rational::from_parts(3, static_cast<i128>(1) << 100);
+  EXPECT_EQ(a * b, Rational(1));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).to_double(), 0.5);
+  EXPECT_DOUBLE_EQ(Rational(-3, 4).to_double(), -0.75);
+  EXPECT_NEAR(Rational(1, 3).to_double(), 1.0 / 3.0, 1e-15);
+}
+
+TEST(Rational, ToString) {
+  EXPECT_EQ(Rational(22, 7).to_string(), "22/7");
+  EXPECT_EQ(Rational(-22, 7).to_string(), "-22/7");
+  EXPECT_EQ(Rational(4, 2).to_string(), "2");
+}
+
+TEST(Rational, FromDoubleExactDyadics) {
+  EXPECT_EQ(Rational::from_double(0.5, 1000), Rational(1, 2));
+  EXPECT_EQ(Rational::from_double(0.25, 1000), Rational(1, 4));
+  EXPECT_EQ(Rational::from_double(-1.5, 1000), Rational(-3, 2));
+  EXPECT_EQ(Rational::from_double(3.0, 10), Rational(3));
+  EXPECT_EQ(Rational::from_double(0.0, 10), Rational(0));
+}
+
+TEST(Rational, FromDoubleBestApproximation) {
+  // π with denominator ≤ 10 is 22/7; ≤ 150 is 355/113's predecessor 311/99?
+  // The classic: 355/113 needs ≤ 113.
+  EXPECT_EQ(Rational::from_double(3.14159265358979, 10), Rational(22, 7));
+  EXPECT_EQ(Rational::from_double(3.14159265358979, 113), Rational(355, 113));
+  EXPECT_EQ(Rational::from_double(1.0 / 3.0, 100), Rational(1, 3));
+}
+
+TEST(Rational, FromDoubleRespectsDenominatorBound) {
+  for (const double v : {0.123456789, 2.718281828, 1e-4, 123.456}) {
+    const Rational r = Rational::from_double(v, 1000);
+    EXPECT_LE(r.denominator(), 1000);
+    EXPECT_NEAR(r.to_double(), v, 1e-3);
+  }
+}
+
+TEST(Rational, FromDoubleRejectsBadInput) {
+  EXPECT_THROW(Rational::from_double(std::numeric_limits<double>::infinity(), 10),
+               std::invalid_argument);
+  EXPECT_THROW(Rational::from_double(std::nan(""), 10), std::invalid_argument);
+  EXPECT_THROW(Rational::from_double(0.5, 0), std::invalid_argument);
+}
+
+TEST(Rational, HashConsistentWithEquality) {
+  EXPECT_EQ(Rational(2, 4).hash(), Rational(1, 2).hash());
+  std::unordered_set<Rational> set;
+  set.insert(Rational(1, 2));
+  set.insert(Rational(2, 4));
+  set.insert(Rational(1, 3));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r(1, 2);
+  r += Rational(1, 3);
+  r -= Rational(1, 6);
+  r *= Rational(3);
+  r /= Rational(2);
+  EXPECT_EQ(r, Rational(1));
+}
+
+TEST(Rational, SumOfManySmallFractionsStaysExact) {
+  // Σ_{i=1..50} 1/i — the harmonic sum H_50 as an exact fraction.
+  Rational sum(0);
+  for (std::int64_t i = 1; i <= 50; ++i) sum += Rational(1, i);
+  EXPECT_NEAR(sum.to_double(), 4.4992053383, 1e-9);
+  // Exactness probe: (sum − 1/2) + 1/2 == sum.
+  EXPECT_EQ((sum - Rational(1, 2)) + Rational(1, 2), sum);
+}
+
+TEST(XRational, InfinityOrdering) {
+  const XRational inf = XRational::infinity();
+  EXPECT_TRUE(inf.is_infinite());
+  EXPECT_GT(inf, XRational(Rational(1000000)));
+  EXPECT_EQ(inf <=> XRational::infinity(), std::strong_ordering::equal);
+  EXPECT_LT(XRational(Rational(3)), inf);
+}
+
+TEST(XRational, FiniteBehavesLikeRational) {
+  const XRational a{Rational(1, 2)};
+  const XRational b{Rational(2, 3)};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.finite_value(), Rational(1, 2));
+  EXPECT_EQ(a.to_string(), "1/2");
+  EXPECT_EQ(XRational::infinity().to_string(), "inf");
+}
+
+TEST(XRational, FiniteValueOnInfinityThrows) {
+  EXPECT_THROW(XRational::infinity().finite_value(), InvariantError);
+}
+
+TEST(XRational, ToDouble) {
+  EXPECT_TRUE(std::isinf(XRational::infinity().to_double()));
+  EXPECT_DOUBLE_EQ(XRational(Rational(3, 4)).to_double(), 0.75);
+}
+
+}  // namespace
+}  // namespace goc
