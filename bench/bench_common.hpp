@@ -4,13 +4,16 @@
 #include <iostream>
 #include <string>
 
+#include "io/serialize.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 /// \file bench_common.hpp
 /// Conventions shared by the experiment harnesses: a wall-clock stopwatch
-/// and a uniform header/CSV-export treatment so every binary prints the
-/// paper-style rows and can optionally persist them.
+/// and a uniform header/CSV/JSON-export treatment so every binary prints
+/// the paper-style rows and can optionally persist them. The JSON mode
+/// (`--json=<base>`) emits machine-readable result files for trajectory
+/// tracking (`BENCH_*.json`) alongside the human-readable tables.
 
 namespace goc::bench {
 
@@ -33,17 +36,31 @@ inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "=== " << experiment << " ===\n" << claim << "\n\n";
 }
 
-/// Prints a table and, when --csv=<path> was passed, saves it too.
+/// Prints a table and, when --csv=<base> / --json=<base> were passed,
+/// saves it in those formats too (suffix keeps multi-table binaries from
+/// overwriting themselves).
 inline void emit(const Cli& cli, const Table& table, const std::string& title,
                  const std::string& csv_suffix = "") {
   table.print(std::cout, title);
   std::cout << "\n";
+  // A bare `--csv` / `--json` flag parses as an empty value; fall back to
+  // "bench" rather than emitting a hidden ".csv" / ".json" file.
   if (cli.has("csv")) {
-    const std::string base = cli.get_string("csv", "bench");
+    std::string base = cli.get_string("csv", "bench");
+    if (base.empty()) base = "bench";
     const std::string path =
         csv_suffix.empty() ? base + ".csv" : base + "." + csv_suffix + ".csv";
     table.save_csv(path);
     std::cout << "[csv saved to " << path << "]\n\n";
+  }
+  if (cli.has("json")) {
+    std::string base = cli.get_string("json", "bench");
+    if (base.empty()) base = "bench";
+    const std::string path = csv_suffix.empty()
+                                 ? base + ".json"
+                                 : base + "." + csv_suffix + ".json";
+    io::write_text_file(io::table_to_json(table, title), path);
+    std::cout << "[json saved to " << path << "]\n\n";
   }
 }
 

@@ -4,16 +4,19 @@
 /// The paper proves convergence for arbitrary Π, C, F and arbitrary
 /// improving paths; it reports no empirical speed numbers (the Discussion
 /// names convergence speed as an open question). This harness measures it:
-/// steps to equilibrium across system sizes, coin counts, power skews and
-/// schedulers, with every run audited against the ordinal potential on
-/// small instances. The headline row the paper's theory predicts:
-/// convergence rate 100% everywhere, including the adversarial min-gain
-/// scheduler.
+/// steps to equilibrium across system sizes, coin counts and schedulers,
+/// with every small-instance run audited against the ordinal potential.
+/// The grid is expanded and fanned across all cores by the sweep engine;
+/// per-task seeding is a pure function of the root seed, so the table is
+/// identical at any `--threads` value. `--compare-serial` additionally
+/// replays the sweep on the 1-lane serial path, checks bit-identical
+/// records, and reports the parallel speedup.
+///
+/// The headline row the paper's theory predicts: convergence rate 100%
+/// everywhere, including the adversarial min-gain scheduler.
 
 #include "bench_common.hpp"
-#include "core/generators.hpp"
-#include "dynamics/learning.hpp"
-#include "util/stats.hpp"
+#include "engine/sweep.hpp"
 
 namespace {
 
@@ -23,80 +26,75 @@ int run(int argc, char** argv) {
   const std::size_t trials = cli.get_u64("trials", 10);
   const std::uint64_t seed0 = cli.get_u64("seed", 2021);
   const bool quick = cli.get_bool("quick", false);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
+  const bool compare_serial = cli.get_bool("compare-serial", false);
 
   bench::banner(
       "E3 — Theorem 1: convergence of arbitrary better-response learning",
       "Steps to pure equilibrium from a uniform random start; audit = ordinal-"
-      "potential ascent verified every step (small instances).");
+      "potential ascent verified every step (small instances). Sweep engine, "
+      "deterministic per-task seeding.");
 
-  const std::vector<std::size_t> miner_counts =
-      quick ? std::vector<std::size_t>{10, 50}
-            : std::vector<std::size_t>{10, 30, 100, 300, 1000};
-  const std::vector<std::size_t> coin_counts = quick
-                                                   ? std::vector<std::size_t>{3}
-                                                   : std::vector<std::size_t>{2, 5, 10};
-  const std::vector<SchedulerKind> kinds = {
-      SchedulerKind::kRandomMove, SchedulerKind::kRoundRobin,
-      SchedulerKind::kMaxGain, SchedulerKind::kMinGain};
-
-  Table table({"miners", "coins", "scheduler", "trials", "converged%",
-               "steps_mean", "steps_p95", "steps_max", "steps/n", "ms_mean"});
-
-  for (const std::size_t n : miner_counts) {
-    for (const std::size_t coins : coin_counts) {
-      for (const SchedulerKind kind : kinds) {
-        // The adversarial min-gain rule's path length explodes with n and
-        // |C| (measured: ~32k steps at n=300, |C|=10 — see EXPERIMENTS.md);
-        // its n≤100 rows already exhibit the blow-up, so cap it there. At
-        // n=1000 the other global-scan rules are likewise sampled on the
-        // two-coin column only, with fewer trials — the scaling trend is
-        // established by then.
-        if (kind == SchedulerKind::kMinGain && (n > 100 && coins > 2)) continue;
-        if (kind == SchedulerKind::kMinGain && n > 300) continue;
-        if (n >= 1000 && coins > 2 && kind != SchedulerKind::kRoundRobin) continue;
-        const std::size_t row_trials =
-            (n >= 300) ? std::max<std::size_t>(3, trials / 3) : trials;
-        Sample steps;
-        Sample wall;
-        std::size_t converged = 0;
-        for (std::size_t t = 0; t < row_trials; ++t) {
-          Rng rng(seed0 + t * 7919 + n * 13 + coins);
-          GameSpec spec;
-          spec.num_miners = n;
-          spec.num_coins = coins;
-          spec.power_shape = PowerShape::kPareto;
-          spec.power_lo = 10;
-          spec.reward_lo = 100;
-          spec.reward_hi = 100000;
-          const Game game = random_game(spec, rng);
-          const Configuration start = random_configuration(game, rng);
-          auto sched = make_scheduler(kind, seed0 ^ (t * 104729));
-          LearningOptions opts;
-          // The audit is O(|C| log |C|) per step; keep it for small runs.
-          opts.audit_potential = (n <= 100);
-          bench::Stopwatch watch;
-          const LearningResult result = run_learning(game, start, *sched, opts);
-          wall.add(watch.elapsed_ms());
-          steps.add(static_cast<double>(result.steps));
-          if (result.converged) ++converged;
-        }
-        table.row() << std::uint64_t(n) << std::uint64_t(coins)
-                    << scheduler_kind_name(kind) << std::uint64_t(row_trials)
-                    << fmt_double(100.0 * static_cast<double>(converged) /
-                                      static_cast<double>(row_trials),
-                                  1)
-                    << fmt_double(steps.mean(), 1)
-                    << fmt_double(steps.percentile(95), 1)
-                    << fmt_double(steps.max(), 0)
-                    << fmt_double(steps.mean() / static_cast<double>(n), 2)
-                    << fmt_double(wall.mean(), 2);
-      }
+  engine::SweepSpec spec;
+  spec.base.power_shape = PowerShape::kPareto;
+  spec.base.power_lo = 10;
+  spec.base.reward_lo = 100;
+  spec.base.reward_hi = 100000;
+  spec.miner_counts = quick ? std::vector<std::size_t>{10, 50}
+                            : std::vector<std::size_t>{10, 30, 100, 300, 1000};
+  spec.coin_counts = quick ? std::vector<std::size_t>{3}
+                           : std::vector<std::size_t>{2, 5, 10};
+  spec.scheduler_kinds = {SchedulerKind::kRandomMove, SchedulerKind::kRoundRobin,
+                          SchedulerKind::kMaxGain, SchedulerKind::kMinGain};
+  spec.trials = trials;
+  spec.root_seed = seed0;
+  // The audit is O(|C| log |C|) per step; keep it for small runs.
+  spec.audit_max_miners = 100;
+  spec.filter = [trials](const engine::SweepTask& task) {
+    const std::size_t n = task.game_spec.num_miners;
+    const std::size_t coins = task.game_spec.num_coins;
+    const SchedulerKind kind = task.scheduler;
+    // The adversarial min-gain rule's path length explodes with n and |C|
+    // (measured: ~32k steps at n=300, |C|=10 — see EXPERIMENTS.md); its
+    // n≤100 rows already exhibit the blow-up, so cap it there. At n=1000
+    // the other global-scan rules are likewise sampled on the two-coin
+    // column only — the scaling trend is established by then.
+    if (kind == SchedulerKind::kMinGain && (n > 100 && coins > 2)) return false;
+    if (kind == SchedulerKind::kMinGain && n > 300) return false;
+    if (n >= 1000 && coins > 2 && kind != SchedulerKind::kRoundRobin) {
+      return false;
     }
-  }
-  bench::emit(cli, table,
+    // Large instances run fewer replicates.
+    const std::size_t row_trials =
+        (n >= 300) ? std::max<std::size_t>(3, trials / 3) : trials;
+    return task.trial < row_trials;
+  };
+
+  const engine::SweepRunner runner({threads});
+  bench::Stopwatch watch;
+  const engine::SweepResult result = runner.run(spec);
+  const double parallel_ms = watch.elapsed_ms();
+
+  bench::emit(cli, result.to_table(),
               "Better-response learning: steps to equilibrium "
               "(theory: converged% == 100 in every row)");
-  return 0;
+  std::cout << "[" << result.records().size() << " scenarios on "
+            << result.threads() << " lanes in " << fmt_double(parallel_ms, 1)
+            << " ms]\n";
+
+  if (compare_serial) {
+    engine::SweepRunner serial({/*threads=*/1});
+    watch.restart();
+    const engine::SweepResult serial_result = serial.run(spec);
+    const double serial_ms = watch.elapsed_ms();
+    const bool identical = result.deterministic_equals(serial_result);
+    std::cout << "[serial replay: " << fmt_double(serial_ms, 1) << " ms; "
+              << "speedup " << fmt_double(serial_ms / parallel_ms, 2) << "x; "
+              << "records " << (identical ? "bit-identical" : "DIVERGED")
+              << "]\n";
+    if (!identical) return 1;
+  }
+  return result.all_converged() ? 0 : 1;
 }
 
 }  // namespace

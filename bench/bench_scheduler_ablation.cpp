@@ -13,6 +13,7 @@
 #include "core/generators.hpp"
 #include "dynamics/learning.hpp"
 #include "dynamics/noisy.hpp"
+#include "engine/sweep.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -24,51 +25,41 @@ int run(int argc, char** argv) {
   const std::size_t n = cli.get_u64("miners", 200);
   const std::size_t coins = cli.get_u64("coins", 5);
   const std::uint64_t seed0 = cli.get_u64("seed", 7);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
 
   bench::banner("E7 — scheduler ablation: convergence speed by learning rule",
                 "Fixed market family: n=" + std::to_string(n) + ", |C|=" +
                     std::to_string(coins) +
                     ", Pareto powers, majors+tail rewards.");
 
+  // The one market family every section below measures.
+  GameSpec market;
+  market.num_miners = n;
+  market.num_coins = coins;
+  market.power_shape = PowerShape::kPareto;
+  market.power_lo = 10;
+  market.reward_shape = RewardShape::kMajors;
+  market.reward_lo = 100;
+  market.reward_hi = 100000;
+
   const auto make_game = [&](std::uint64_t seed) {
     Rng rng(seed);
-    GameSpec spec;
-    spec.num_miners = n;
-    spec.num_coins = coins;
-    spec.power_shape = PowerShape::kPareto;
-    spec.power_lo = 10;
-    spec.reward_shape = RewardShape::kMajors;
-    spec.reward_lo = 100;
-    spec.reward_hi = 100000;
-    return random_game(spec, rng);
+    return random_game(market, rng);
   };
 
-  Table table({"rule", "trials", "steps_mean", "steps_p95", "steps/n",
-               "ms_mean", "converged%"});
-  for (const SchedulerKind kind : all_scheduler_kinds()) {
-    Sample steps, wall;
-    std::size_t converged = 0;
-    for (std::size_t t = 0; t < trials; ++t) {
-      const Game game = make_game(seed0 + t * 101);
-      Rng rng(seed0 + t * 101 + 1);
-      const Configuration start = random_configuration(game, rng);
-      auto sched = make_scheduler(kind, seed0 + t);
-      bench::Stopwatch watch;
-      const LearningResult result = run_learning(game, start, *sched);
-      wall.add(watch.elapsed_ms());
-      steps.add(static_cast<double>(result.steps));
-      if (result.converged) ++converged;
-    }
-    table.row() << scheduler_kind_name(kind) << std::uint64_t(trials)
-                << fmt_double(steps.mean(), 1)
-                << fmt_double(steps.percentile(95), 1)
-                << fmt_double(steps.mean() / static_cast<double>(n), 2)
-                << fmt_double(wall.mean(), 2)
-                << fmt_double(100.0 * static_cast<double>(converged) /
-                                  static_cast<double>(trials),
-                              1);
-  }
-  bench::emit(cli, table, "Strict better-response rules", "strict");
+  // The strict-rule ablation is a one-point sweep over the scheduler axis;
+  // the engine fans the trials across all cores.
+  engine::SweepSpec spec;
+  spec.base = market;
+  spec.scheduler_kinds = all_scheduler_kinds();
+  spec.trials = trials;
+  spec.root_seed = seed0;
+  const engine::SweepRunner runner({threads});
+  const engine::SweepResult sweep = runner.run(spec);
+  bench::emit(cli, sweep.to_table(), "Strict better-response rules", "strict");
+  std::cout << "[" << sweep.records().size() << " scenarios on "
+            << sweep.threads() << " lanes in "
+            << fmt_double(sweep.total_wall_ms(), 1) << " ms]\n\n";
 
   // ε-equilibrium: how much of the convergence tail is negligible-gain
   // churn? Steps to reach a relative ε-equilibrium vs the exact one.

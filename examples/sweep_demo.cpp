@@ -1,0 +1,63 @@
+/// \file sweep_demo.cpp
+/// The sweep engine in ~40 lines: expand a miner-count × coin-count ×
+/// scheduler grid, fan it across every core, and emit the aggregate table
+/// plus per-scenario CSV/JSON artifacts.
+///
+///   ./sweep_demo --trials=5 --seed=42 --threads=0 \
+///       --csv=sweep.csv --json=sweep.json
+///
+/// Determinism: rerunning with any `--threads` value reproduces the exact
+/// same records — per-task seeds depend only on the root seed and the
+/// task's position in the grid.
+
+#include <cstdio>
+#include <iostream>
+
+#include "engine/sweep.hpp"
+#include "io/serialize.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace goc;
+  const Cli cli(argc, argv);
+  const std::size_t trials = cli.get_u64("trials", 5);
+  const std::uint64_t seed = cli.get_u64("seed", 42);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
+
+  engine::SweepSpec spec;
+  spec.base.power_shape = PowerShape::kPareto;
+  spec.base.power_lo = 10;
+  spec.base.reward_shape = RewardShape::kMajors;
+  spec.base.reward_lo = 100;
+  spec.base.reward_hi = 100000;
+  spec.miner_counts = {20, 100};
+  spec.coin_counts = {3, 6};
+  spec.scheduler_kinds = {SchedulerKind::kRandomMove,
+                          SchedulerKind::kRoundRobin,
+                          SchedulerKind::kMaxGain};
+  spec.trials = trials;
+  spec.root_seed = seed;
+  spec.audit_max_miners = 50;  // verify Theorem 1's potential on small runs
+
+  std::cout << "Expanding " << spec.grid_size() << " scenarios...\n";
+  const engine::SweepRunner runner({threads});
+  const engine::SweepResult result = runner.run(spec);
+
+  result.to_table().print(std::cout, "Sweep: convergence + equilibrium quality");
+  std::cout << "\n[" << result.records().size() << " scenarios on "
+            << result.threads() << " lanes in "
+            << fmt_double(result.total_wall_ms(), 1) << " ms; all converged: "
+            << (result.all_converged() ? "yes" : "NO") << "]\n";
+
+  if (cli.has("csv")) {
+    const std::string path = cli.get_string("csv", "sweep.csv");
+    io::write_text_file(result.to_csv(), path);
+    std::cout << "[per-scenario csv saved to " << path << "]\n";
+  }
+  if (cli.has("json")) {
+    const std::string path = cli.get_string("json", "sweep.json");
+    io::write_text_file(result.to_json(), path);
+    std::cout << "[per-scenario json saved to " << path << "]\n";
+  }
+  return result.all_converged() ? 0 : 1;
+}

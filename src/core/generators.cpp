@@ -74,6 +74,32 @@ std::vector<Rational> draw_rewards(const GameSpec& spec, Rng& rng) {
 
 }  // namespace
 
+std::string power_shape_name(PowerShape shape) {
+  switch (shape) {
+    case PowerShape::kEqual:
+      return "equal";
+    case PowerShape::kUniform:
+      return "uniform";
+    case PowerShape::kZipf:
+      return "zipf";
+    case PowerShape::kPareto:
+      return "pareto";
+  }
+  return "unknown";
+}
+
+std::string reward_shape_name(RewardShape shape) {
+  switch (shape) {
+    case RewardShape::kEqual:
+      return "equal";
+    case RewardShape::kUniform:
+      return "uniform";
+    case RewardShape::kMajors:
+      return "majors";
+  }
+  return "unknown";
+}
+
 std::string GameSpec::to_string() const {
   std::ostringstream os;
   os << "GameSpec{n=" << num_miners << ", coins=" << num_coins

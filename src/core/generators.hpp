@@ -32,6 +32,12 @@ enum class RewardShape {
   kMajors,   ///< a few heavy coins plus a geometric tail
 };
 
+/// Stable identifier for tables/CSV ("equal", "uniform", "zipf", "pareto").
+std::string power_shape_name(PowerShape shape);
+
+/// Stable identifier for tables/CSV ("equal", "uniform", "majors").
+std::string reward_shape_name(RewardShape shape);
+
 struct GameSpec {
   std::size_t num_miners = 10;
   std::size_t num_coins = 3;

@@ -1,0 +1,85 @@
+#include "engine/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+
+namespace goc::engine {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  // Shared cursor: every lane (workers + the calling thread) pulls the next
+  // unclaimed index until the range is exhausted.
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  const auto drain = [cursor, count, &fn, first_error, error, error_mutex] {
+    for (;;) {
+      const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      if (first_error->load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(*error_mutex);
+        if (!first_error->exchange(true)) *error = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::future<void>> lanes;
+  lanes.reserve(workers_.size());
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    lanes.push_back(submit(drain));
+  }
+  drain();  // the calling thread is a lane too
+  for (auto& lane : lanes) lane.get();
+
+  if (first_error->load()) std::rethrow_exception(*error);
+}
+
+std::size_t ThreadPool::default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+}  // namespace goc::engine

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+/// \file thread_pool.hpp
+/// A fixed-size worker pool for fan-out workloads.
+///
+/// Two usage modes:
+///  * `submit(fn)` — enqueue an arbitrary callable, get a `std::future` back.
+///  * `parallel_for(n, fn)` — run `fn(0..n-1)` across the pool and block
+///    until done. Indices are handed out through a shared atomic cursor, so
+///    idle workers "steal" whatever index comes next — a work-stealing-
+///    friendly schedule that keeps all cores busy even when per-index cost
+///    is wildly uneven (e.g. min-gain scheduler tasks next to max-gain ones).
+///
+/// A pool constructed with zero threads degenerates to inline execution on
+/// the calling thread; `parallel_for` then visits indices in order. This is
+/// the reference serial path used by determinism tests, so any divergence
+/// between 0-thread and N-thread results is a bug in the *tasks* (shared
+/// mutable state), never in the schedule.
+
+namespace goc::engine {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means inline (serial) execution.
+  explicit ThreadPool(std::size_t num_threads);
+
+  /// Joins all workers; pending tasks are drained first.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const noexcept { return workers_.size(); }
+
+  /// Enqueues `fn`; the future resolves once it has run. In inline mode the
+  /// call runs immediately on the calling thread.
+  template <typename Fn>
+  std::future<std::invoke_result_t<Fn>> submit(Fn&& fn) {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    if (workers_.empty()) {
+      (*task)();
+      return future;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Runs `fn(i)` for every i in [0, count), blocking until all complete.
+  /// The calling thread participates, so a 1-thread pool uses two lanes.
+  /// Exceptions from `fn` propagate (the first one thrown is rethrown).
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// `max(1, hardware_concurrency)` — the default worker count for sweeps.
+  static std::size_t default_threads();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace goc::engine

@@ -1,6 +1,7 @@
 #include "io/serialize.hpp"
 
 #include <charconv>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <vector>
@@ -253,6 +254,73 @@ Configuration load_configuration(const std::string& path,
   std::ostringstream buffer;
   buffer << in.rdbuf();
   return configuration_from_text(buffer.str(), std::move(system));
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char ch : text) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string table_to_json(const Table& table, const std::string& title) {
+  std::ostringstream os;
+  os << "{\n  \"title\": \"" << json_escape(title) << "\",\n  \"headers\": [";
+  const auto& headers = table.headers();
+  for (std::size_t i = 0; i < headers.size(); ++i) {
+    os << (i ? ", " : "") << '"' << json_escape(headers[i]) << '"';
+  }
+  os << "],\n  \"rows\": [\n";
+  const auto& rows = table.row_data();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    os << "    [";
+    for (std::size_t i = 0; i < rows[r].size(); ++i) {
+      os << (i ? ", " : "") << '"' << json_escape(rows[r][i]) << '"';
+    }
+    os << "]" << (r + 1 < rows.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+void write_text_file(const std::string& content, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("cannot open " + path + " for writing");
+  out << content;
+  if (!out) throw std::runtime_error("failed writing " + path);
 }
 
 }  // namespace goc::io

@@ -5,6 +5,7 @@
 
 #include "core/configuration.hpp"
 #include "core/game.hpp"
+#include "util/table.hpp"
 
 /// \file serialize.hpp
 /// Plain-text persistence for games and configurations.
@@ -58,5 +59,21 @@ Configuration load_configuration(const std::string& path,
 /// Exact round-trip helpers for rationals ("p" or "p/q").
 std::string rational_to_text(const Rational& value);
 Rational rational_from_text(const std::string& text);
+
+// ------------------------------------------------------------------- JSON
+// Result emission for the sweep engine and benchmark harnesses. We only
+// ever *write* JSON (plots and trajectory tracking consume it); there is
+// deliberately no parser here.
+
+/// Escapes a string for inclusion inside a JSON string literal (quotes,
+/// backslashes, control characters).
+std::string json_escape(const std::string& text);
+
+/// Renders a table as `{"title": ..., "headers": [...], "rows": [[...]]}`.
+/// Cells are emitted as JSON strings (tables are already formatted text).
+std::string table_to_json(const Table& table, const std::string& title);
+
+/// Writes `content` to `path`; throws std::runtime_error on I/O failure.
+void write_text_file(const std::string& content, const std::string& path);
 
 }  // namespace goc::io

@@ -26,6 +26,11 @@ class Table {
   std::size_t columns() const noexcept { return headers_.size(); }
   std::size_t rows() const noexcept { return rows_.size(); }
 
+  const std::vector<std::string>& headers() const noexcept { return headers_; }
+  const std::vector<std::vector<std::string>>& row_data() const noexcept {
+    return rows_;
+  }
+
   /// Adds a row; must match the header arity.
   void add_row(std::vector<std::string> cells);
 
