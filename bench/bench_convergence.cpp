@@ -28,6 +28,7 @@ int run(int argc, char** argv) {
   const bool quick = cli.get_bool("quick", false);
   const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
   const bool compare_serial = cli.get_bool("compare-serial", false);
+  const bool compare_scan = cli.get_bool("compare-scan", false);
 
   bench::banner(
       "E3 — Theorem 1: convergence of arbitrary better-response learning",
@@ -92,6 +93,24 @@ int run(int argc, char** argv) {
               << "speedup " << fmt_double(serial_ms / parallel_ms, 2) << "x; "
               << "records " << (identical ? "bit-identical" : "DIVERGED")
               << "]\n";
+    if (!identical) return 1;
+  }
+
+  if (compare_scan) {
+    // Replay the whole sweep on the from-scratch scan path. Records include
+    // the per-trajectory move hash, so equality means every scenario's move
+    // sequence — not just its endpoint — matched the index path.
+    engine::SweepSpec scan_spec = spec;
+    scan_spec.learning.use_index = false;
+    watch.restart();
+    const engine::SweepResult scan_result =
+        engine::SweepRunner({threads}).run(scan_spec);
+    const double scan_ms = watch.elapsed_ms();
+    const bool identical = result.deterministic_equals(scan_result);
+    std::cout << "[scan replay: " << fmt_double(scan_ms, 1) << " ms; "
+              << "index speedup " << fmt_double(scan_ms / parallel_ms, 2)
+              << "x; move sequences "
+              << (identical ? "bit-identical" : "DIVERGED") << "]\n";
     if (!identical) return 1;
   }
   return result.all_converged() ? 0 : 1;

@@ -10,22 +10,42 @@
 /// report the share before vs after and how often the attacker ends with a
 /// strict majority — i.e. a persistent 51% position bought with a *finite*
 /// reward subsidy.
+///
+/// Runs on the sweep-engine treatment: the (rank × trial) grid is fanned
+/// across a ThreadPool (`--threads`, 0 = all cores), per-task seeds derive
+/// from the root seed and grid position alone (`engine::task_seed`), and
+/// records land in a pre-sized slot vector — so the table is bit-identical
+/// at any thread count. The same game seed serves every rank at a given
+/// trial, keeping the three attacker rows comparable on identical markets.
 
 #include "bench_common.hpp"
 #include "core/generators.hpp"
 #include "design/reward_design.hpp"
+#include "engine/sweep.hpp"
+#include "engine/thread_pool.hpp"
 #include "equilibrium/enumerate.hpp"
 #include "equilibrium/security.hpp"
 #include "util/stats.hpp"
 
 namespace {
 
+using namespace goc;
+
+struct AttackOutcome {
+  bool counted = false;  ///< the game had ≥2 equilibria and a valid target
+  double share_before = 0.0;
+  double share_after = 0.0;
+  double cost_epochs = 0.0;
+  bool majority_before = false;
+  bool majority_after = false;
+};
+
 int run(int argc, char** argv) {
-  using namespace goc;
   const Cli cli(argc, argv);
   const std::size_t trials = cli.get_u64("trials", 30);
   const std::size_t n = cli.get_u64("miners", 8);
   const std::uint64_t seed0 = cli.get_u64("seed", 12);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
 
   bench::banner(
       "E12 — domination via reward design (paper §6 'bad configurations')",
@@ -33,53 +53,78 @@ int run(int argc, char** argv) {
       "sampled equilibrium maximizing the attacker's share of its coin; "
       "Algorithm 2 moves the system there and the rewards revert.");
 
+  const std::vector<std::size_t> ranks = {std::size_t{0}, n / 2, n - 1};
+
+  // (rank × trial) task grid; slot vector indexed by grid position.
+  std::vector<AttackOutcome> outcomes(ranks.size() * trials);
+  const std::size_t lanes = engine::ThreadPool::resolve_lanes(threads);
+  engine::ThreadPool pool(engine::ThreadPool::workers_for(lanes));
+  bench::Stopwatch watch;
+  pool.parallel_for(outcomes.size(), [&](std::size_t i) {
+    const std::size_t rank_index = i / trials;
+    const std::size_t t = i % trials;
+    // The game seed depends on the trial alone: every rank row attacks the
+    // same sampled market family.
+    Rng rng(engine::task_seed(seed0, t, 0));
+    GameSpec spec;
+    spec.num_miners = n;
+    spec.num_coins = 3;
+    spec.power_lo = 1;
+    spec.power_hi = 100;
+    spec.reward_lo = 50;
+    spec.reward_hi = 900;
+    spec.distinct_powers = true;
+    spec.sort_desc = true;
+    const Game game = random_game(spec, rng);
+    auto equilibria = sample_equilibria(game, rng, 64);
+    if (equilibria.size() < 2) return;
+
+    const MinerId attacker(static_cast<std::uint32_t>(ranks[rank_index]));
+    const Configuration& s0 = equilibria.front();
+    const auto target = best_domination_target(game, attacker, equilibria);
+    if (!target) return;
+
+    AttackOutcome& out = outcomes[i];
+    out.counted = true;
+    const Rational share0 =
+        game.system().power(attacker) / s0.mass(s0.of(attacker));
+    out.share_before = share0.to_double();
+    out.majority_before = share0 > Rational(1, 2);
+
+    auto sched = make_scheduler(SchedulerKind::kRandomMiner,
+                                engine::task_seed(seed0, i, 1));
+    const DesignResult result =
+        run_reward_design(game, s0, target->equilibrium, *sched);
+    GOC_ASSERT(result.success, "Algorithm 2 must reach the target");
+    out.share_after = target->attacker_share.to_double();
+    out.majority_after = target->attacker_share > Rational(1, 2);
+    out.cost_epochs = result.total_cost.to_double() /
+                      game.rewards().total_reward().to_double();
+  });
+  const double wall_ms = watch.elapsed_ms();
+
   Table table({"attacker_rank", "games", "share_before_mean",
                "share_after_mean", "majority_before%", "majority_after%",
                "cost_epochs_mean"});
-
-  for (const std::size_t rank : {std::size_t{0}, n / 2, n - 1}) {
+  for (std::size_t rank_index = 0; rank_index < ranks.size(); ++rank_index) {
     Sample before, after, cost;
     std::size_t majority_before = 0, majority_after = 0, games = 0;
     for (std::size_t t = 0; t < trials; ++t) {
-      Rng rng(seed0 + t * 977);
-      GameSpec spec;
-      spec.num_miners = n;
-      spec.num_coins = 3;
-      spec.power_lo = 1;
-      spec.power_hi = 100;
-      spec.reward_lo = 50;
-      spec.reward_hi = 900;
-      spec.distinct_powers = true;
-      spec.sort_desc = true;
-      const Game game = random_game(spec, rng);
-      auto equilibria = sample_equilibria(game, rng, 64);
-      if (equilibria.size() < 2) continue;
-
-      const MinerId attacker(static_cast<std::uint32_t>(rank));
-      const Configuration& s0 = equilibria.front();
-      const auto target = best_domination_target(game, attacker, equilibria);
-      if (!target) continue;
+      const AttackOutcome& out = outcomes[rank_index * trials + t];
+      if (!out.counted) continue;
       ++games;
-
-      const Rational share0 =
-          game.system().power(attacker) / s0.mass(s0.of(attacker));
-      before.add(share0.to_double());
-      if (share0 > Rational(1, 2)) ++majority_before;
-
-      auto sched = make_scheduler(SchedulerKind::kRandomMiner, seed0 + t);
-      const DesignResult result = run_reward_design(
-          game, s0, target->equilibrium, *sched);
-      GOC_ASSERT(result.success, "Algorithm 2 must reach the target");
-      after.add(target->attacker_share.to_double());
-      if (target->attacker_share > Rational(1, 2)) ++majority_after;
-      cost.add(result.total_cost.to_double() /
-               game.rewards().total_reward().to_double());
+      before.add(out.share_before);
+      after.add(out.share_after);
+      cost.add(out.cost_epochs);
+      if (out.majority_before) ++majority_before;
+      if (out.majority_after) ++majority_after;
     }
     if (games == 0) continue;
     const auto pct = [&](std::size_t x) {
-      return fmt_double(100.0 * static_cast<double>(x) / static_cast<double>(games), 1);
+      return fmt_double(
+          100.0 * static_cast<double>(x) / static_cast<double>(games), 1);
     };
-    table.row() << std::uint64_t(rank) << std::uint64_t(games)
+    table.row() << std::uint64_t(ranks[rank_index]) << std::uint64_t(games)
                 << fmt_double(before.mean(), 3) << fmt_double(after.mean(), 3)
                 << pct(majority_before) << pct(majority_after)
                 << fmt_double(cost.mean(), 1);
@@ -87,6 +132,8 @@ int run(int argc, char** argv) {
   bench::emit(cli, table,
               "Domination attack (expected: share_after > share_before; "
               "large attackers frequently secure >50% positions)");
+  std::cout << "[" << outcomes.size() << " attack scenarios on " << lanes
+            << " lanes in " << fmt_double(wall_ms, 1) << " ms]\n";
   return 0;
 }
 

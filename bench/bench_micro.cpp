@@ -1,23 +1,34 @@
 /// \file bench_micro.cpp
-/// Experiment E10 — core-operation microbenchmarks (google-benchmark).
+/// Experiment E10 — core-operation microbenchmarks and the hot-loop
+/// headline: better-response learning steps/sec, scan path vs the
+/// incremental BestResponseIndex.
 ///
-/// Not a paper artifact; these keep the exact-arithmetic core honest:
-/// payoff evaluation, better-response scans, move application, and
-/// ordinal-potential key construction across system sizes, plus the
-/// Rational comparison fast/slow paths.
+/// Not a paper artifact; these keep the exact-arithmetic core honest. The
+/// headline table runs the same 1000-miner × 10-coin random-move learning
+/// trajectory through both scheduler paths and reports the speedup; the
+/// `--compare-scan` check (on by default) asserts the two paths picked
+/// bit-identical move sequences (steps, FNV move hash, final
+/// configuration) and the binary exits nonzero if they diverged.
+///
+/// Self-contained harness (no google-benchmark): supports `--quick`,
+/// `--json=<base>` / `--csv=<base>`, `--miners/--coins/--steps/--seed`,
+/// `--compare-scan=false`.
 
-#include <benchmark/benchmark.h>
+#include <functional>
 
+#include "bench_common.hpp"
 #include "core/generators.hpp"
 #include "core/moves.hpp"
+#include "dynamics/best_response_index.hpp"
+#include "dynamics/learning.hpp"
 #include "potential/list_potential.hpp"
 
 namespace {
 
 using namespace goc;
 
-Game make_game(std::size_t miners, std::size_t coins) {
-  Rng rng(42);
+Game make_game(std::size_t miners, std::size_t coins, std::uint64_t seed) {
+  Rng rng(seed);
   GameSpec spec;
   spec.num_miners = miners;
   spec.num_coins = coins;
@@ -28,100 +39,145 @@ Game make_game(std::size_t miners, std::size_t coins) {
   return random_game(spec, rng);
 }
 
-void BM_PayoffEval(benchmark::State& state) {
-  const Game game = make_game(static_cast<std::size_t>(state.range(0)), 8);
-  Rng rng(1);
-  const Configuration s = random_configuration(game, rng);
-  std::uint32_t p = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(game.payoff(s, MinerId(p)));
-    p = (p + 1) % static_cast<std::uint32_t>(game.num_miners());
-  }
+/// Times `op` over `iters` iterations and appends an ops-table row.
+void time_op(Table& table, const std::string& name, std::size_t iters,
+             const std::function<void()>& op) {
+  bench::Stopwatch watch;
+  for (std::size_t i = 0; i < iters; ++i) op();
+  const double ms = watch.elapsed_ms();
+  table.row() << name << std::uint64_t(iters) << fmt_double(ms, 2)
+              << fmt_double(ms * 1e6 / static_cast<double>(iters), 1);
 }
-BENCHMARK(BM_PayoffEval)->Arg(100)->Arg(1000);
 
-void BM_BetterResponseScan(benchmark::State& state) {
-  const Game game = make_game(1000, static_cast<std::size_t>(state.range(0)));
-  Rng rng(2);
-  const Configuration s = random_configuration(game, rng);
-  std::uint32_t p = 0;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(best_response(game, s, MinerId(p)));
-    p = (p + 1) % 1000;
-  }
+struct PathRun {
+  LearningResult learned;
+  double ms = 0.0;
+};
+
+PathRun run_path(const Game& game, const Configuration& start,
+                 std::uint64_t scheduler_seed, bool use_index,
+                 std::uint64_t max_steps) {
+  auto scheduler = make_scheduler(SchedulerKind::kRandomMove, scheduler_seed);
+  LearningOptions options;
+  options.use_index = use_index;
+  options.max_steps = max_steps;
+  bench::Stopwatch watch;
+  LearningResult learned = run_learning(game, start, *scheduler, options);
+  return PathRun{std::move(learned), watch.elapsed_ms()};
 }
-BENCHMARK(BM_BetterResponseScan)->Arg(2)->Arg(8)->Arg(32);
 
-void BM_MoveApply(benchmark::State& state) {
-  const Game game = make_game(static_cast<std::size_t>(state.range(0)), 8);
-  Rng rng(3);
-  Configuration s = random_configuration(game, rng);
-  std::uint32_t p = 0;
-  for (auto _ : state) {
-    const CoinId to(
-        static_cast<std::uint32_t>((s.of(MinerId(p)).value + 1) % 8));
-    s.move(MinerId(p), to);
-    benchmark::DoNotOptimize(s.mass(to));
-    p = (p + 1) % static_cast<std::uint32_t>(game.num_miners());
-  }
-}
-BENCHMARK(BM_MoveApply)->Arg(100)->Arg(1000);
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::size_t miners = cli.get_u64("miners", quick ? 200 : 1000);
+  const std::size_t coins = cli.get_u64("coins", quick ? 6 : 10);
+  const std::uint64_t steps = cli.get_u64("steps", quick ? 200 : 600);
+  const std::uint64_t seed = cli.get_u64("seed", 42);
+  const bool compare_scan = cli.get_bool("compare-scan", true);
 
-void BM_PotentialKey(benchmark::State& state) {
-  const Game game = make_game(1000, static_cast<std::size_t>(state.range(0)));
-  Rng rng(4);
-  const Configuration s = random_configuration(game, rng);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(potential_key(game, s));
-  }
-}
-BENCHMARK(BM_PotentialKey)->Arg(2)->Arg(8)->Arg(32);
+  bench::banner(
+      "E10 — core-op microbenchmarks + hot-loop scan-vs-index headline",
+      "Exact-arithmetic core operations, then random-move learning steps/sec "
+      "through the scan path vs the incremental BestResponseIndex on the "
+      "same trajectory.");
 
-void BM_RationalCompareFast(benchmark::State& state) {
-  const Rational a(123456789, 987654321);
-  const Rational b(123456788, 987654321);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a < b);
-  }
-}
-BENCHMARK(BM_RationalCompareFast);
-
-void BM_RationalCompareHuge(benchmark::State& state) {
-  // Cross products exceed 128 bits → continued-fraction path.
-  const Rational a = Rational::from_parts((static_cast<i128>(1) << 100) + 1,
-                                          (static_cast<i128>(1) << 99) + 7);
-  const Rational b = Rational::from_parts((static_cast<i128>(1) << 100) + 3,
-                                          (static_cast<i128>(1) << 99) + 5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(a < b);
-  }
-}
-BENCHMARK(BM_RationalCompareHuge);
-
-void BM_FullLearningRun(benchmark::State& state) {
-  const std::size_t n = static_cast<std::size_t>(state.range(0));
-  for (auto _ : state) {
-    state.PauseTiming();
-    const Game game = make_game(n, 8);
-    Rng rng(5);
+  // ------------------------------------------------------- core operations
+  const std::size_t base_iters = quick ? 20000 : 200000;
+  Table ops({"op", "iters", "total_ms", "ns_per_op"});
+  {
+    const Game game = make_game(1000, 8, seed);
+    Rng rng(1);
     Configuration s = random_configuration(game, rng);
-    state.ResumeTiming();
-    // Inline lexicographic-style loop to avoid timing scheduler allocation.
-    for (;;) {
-      bool moved = false;
-      for (std::uint32_t p = 0; p < n && !moved; ++p) {
-        if (const auto to = best_response(game, s, MinerId(p))) {
-          s.move(MinerId(p), *to);
-          moved = true;
-        }
-      }
-      if (!moved) break;
-    }
-    benchmark::DoNotOptimize(s.occupied_coins());
+    std::uint32_t p = 0;
+    time_op(ops, "payoff_eval(n=1000)", base_iters, [&] {
+      volatile bool sink = game.payoff(s, MinerId(p)).is_positive();
+      (void)sink;
+      p = (p + 1) % 1000;
+    });
+    p = 0;
+    time_op(ops, "best_response_scan(n=1000,|C|=8)", base_iters / 50, [&] {
+      volatile bool sink = best_response(game, s, MinerId(p)).has_value();
+      (void)sink;
+      p = (p + 1) % 1000;
+    });
+    time_op(ops, "index_build(n=1000,|C|=8)", quick ? 20 : 200, [&] {
+      dynamics::BestResponseIndex index(game, s);
+      volatile bool sink = index.at_equilibrium();
+      (void)sink;
+    });
+    p = 0;
+    time_op(ops, "move_apply(n=1000)", base_iters, [&] {
+      const CoinId to(
+          static_cast<std::uint32_t>((s.of(MinerId(p)).value + 1) % 8));
+      s.move(MinerId(p), to);
+      p = (p + 1) % 1000;
+    });
+    time_op(ops, "potential_key(n=1000,|C|=8)", quick ? 200 : 2000, [&] {
+      volatile bool sink = potential_key(game, s).entries().empty();
+      (void)sink;
+    });
   }
+  {
+    const Rational a(123456789, 987654321);
+    const Rational b(123456788, 987654321);
+    time_op(ops, "rational_cmp_fast", base_iters, [&] {
+      volatile bool sink = a < b;
+      (void)sink;
+    });
+    const Rational big_a = Rational::from_parts(
+        (static_cast<i128>(1) << 100) + 1, (static_cast<i128>(1) << 99) + 7);
+    const Rational big_b = Rational::from_parts(
+        (static_cast<i128>(1) << 100) + 3, (static_cast<i128>(1) << 99) + 5);
+    time_op(ops, "rational_cmp_huge", base_iters / 10, [&] {
+      volatile bool sink = big_a < big_b;
+      (void)sink;
+    });
+  }
+  bench::emit(cli, ops, "Core operations", "ops");
+
+  // ------------------------------------------------- hot-loop headline
+  const Game game = make_game(miners, coins, seed);
+  Rng rng(seed ^ 0x5eed);
+  const Configuration start = random_configuration(game, rng);
+  const std::uint64_t scheduler_seed = seed * 7919 + 1;
+
+  const PathRun indexed =
+      run_path(game, start, scheduler_seed, /*use_index=*/true, steps);
+  const PathRun scan =
+      run_path(game, start, scheduler_seed, /*use_index=*/false, steps);
+
+  const auto steps_per_sec = [](const PathRun& r) {
+    return r.ms > 0.0 ? 1e3 * static_cast<double>(r.learned.steps) / r.ms : 0.0;
+  };
+  Table hot({"path", "miners", "coins", "steps", "ms", "steps_per_sec",
+             "speedup"});
+  const double scan_rate = steps_per_sec(scan);
+  const double index_rate = steps_per_sec(indexed);
+  hot.row() << "scan" << std::uint64_t(miners) << std::uint64_t(coins)
+            << std::uint64_t(scan.learned.steps) << fmt_double(scan.ms, 1)
+            << fmt_double(scan_rate, 0) << fmt_double(1.0, 2);
+  hot.row() << "index" << std::uint64_t(miners) << std::uint64_t(coins)
+            << std::uint64_t(indexed.learned.steps)
+            << fmt_double(indexed.ms, 1) << fmt_double(index_rate, 0)
+            << fmt_double(scan_rate > 0.0 ? index_rate / scan_rate : 0.0, 2);
+  bench::emit(cli, hot,
+              "Random-move learning hot loop (same trajectory, both paths; "
+              "acceptance: index ≥ 5x scan at n=1000, |C|=10)",
+              "hotloop");
+
+  if (compare_scan) {
+    const bool identical =
+        scan.learned.steps == indexed.learned.steps &&
+        scan.learned.move_hash == indexed.learned.move_hash &&
+        scan.learned.final_configuration == indexed.learned.final_configuration;
+    std::cout << "[compare-scan: move sequences "
+              << (identical ? "bit-identical" : "DIVERGED") << " over "
+              << scan.learned.steps << " steps]\n";
+    if (!identical) return 1;
+  }
+  return 0;
 }
-BENCHMARK(BM_FullLearningRun)->Arg(50)->Arg(200)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) { return run(argc, argv); }

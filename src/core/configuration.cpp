@@ -66,6 +66,8 @@ void Configuration::move(MinerId p, CoinId to) {
   mass_[to.value] += m;
   if (count_[to.value]++ == 0) ++occupied_;
   assignment_[p.value] = to;
+  ++move_epoch_;
+  last_delta_ = MoveDelta{p, from, to};
   GOC_DASSERT(!mass_[from.value].is_negative(), "coin mass went negative");
 }
 

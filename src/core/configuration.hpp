@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,8 +18,21 @@
 /// Configurations share ownership of their `System` (shared_ptr) so that a
 /// configuration, the base game, and any number of *designed* games over
 /// the same system can coexist without lifetime pitfalls.
+///
+/// Derived structures (e.g. `dynamics::BestResponseIndex`) track a
+/// configuration incrementally through the *move-epoch hook*: every
+/// effective `move()` bumps `move_epoch()` and records the delta
+/// (`last_delta()`), so an observer that saw epoch k and now sees k+1 can
+/// update in O(Δ) from the two changed coins instead of rescanning.
 
 namespace goc {
+
+/// The change applied by the most recent effective `Configuration::move`.
+struct MoveDelta {
+  MinerId miner;
+  CoinId from;
+  CoinId to;
+};
 
 class Configuration {
  public:
@@ -53,7 +67,16 @@ class Configuration {
   std::vector<MinerId> members(CoinId c) const;
 
   /// Moves p to `to` (no-op when already there), updating masses in O(1).
+  /// Effective moves bump `move_epoch()` and record `last_delta()`.
   void move(MinerId p, CoinId to);
+
+  /// Number of effective moves applied since construction (copies inherit
+  /// the source's epoch). No-op moves (to == current coin) do not count.
+  std::uint64_t move_epoch() const noexcept { return move_epoch_; }
+
+  /// The delta of the most recent effective move; only meaningful when
+  /// `move_epoch() > 0`.
+  const MoveDelta& last_delta() const noexcept { return last_delta_; }
 
   /// (s_{-p}, c) — a copy with p moved.
   Configuration with_move(MinerId p, CoinId to) const;
@@ -73,6 +96,8 @@ class Configuration {
   std::vector<Rational> mass_;        // indexed by coin
   std::vector<std::size_t> count_;    // indexed by coin
   std::size_t occupied_ = 0;
+  std::uint64_t move_epoch_ = 0;
+  MoveDelta last_delta_{MinerId(0), CoinId(0), CoinId(0)};
 };
 
 }  // namespace goc

@@ -1,0 +1,58 @@
+#include "core/move_compare.hpp"
+
+#include "util/rational.hpp"
+
+namespace goc {
+
+namespace {
+
+/// Compares the positive fractions a_num/a_den and b_num/b_den exactly.
+/// Two multiplies on the fast path; reduces through `Rational` (which never
+/// overflows a comparison) when a cross product exceeds 128 bits.
+std::strong_ordering compare_fractions(i128 a_num, i128 a_den, i128 b_num,
+                                       i128 b_den) {
+  i128 lhs, rhs;
+  if (!mul_overflow(a_num, b_den, &lhs) && !mul_overflow(b_num, a_den, &rhs)) {
+    return lhs <=> rhs;
+  }
+  return Rational::from_parts(a_num, a_den) <=>
+         Rational::from_parts(b_num, b_den);
+}
+
+}  // namespace
+
+MoveComparator::MoveComparator(const Game& game) : game_(&game) {
+  integer_mode_ = true;
+  for (const Rational& m : game.system().powers()) {
+    if (!m.is_integer()) integer_mode_ = false;
+  }
+  for (const Rational& f : game.rewards().values()) {
+    if (!f.is_integer()) integer_mode_ = false;
+  }
+}
+
+std::strong_ordering MoveComparator::compare(const Configuration& s, MinerId p,
+                                             CoinId c1, CoinId c2) const {
+  if (c1 == c2) return std::strong_ordering::equal;
+  const CoinId here = s.of(p);
+  if (integer_mode_) {
+    // All quantities are integers stored in normalized Rationals, so the
+    // numerators ARE the values. Post-move "value" of coin c for p is
+    // F(c) / D_c with D_c = M_c + m_p for a move and D_c = M_c for the
+    // current coin (whose mass already includes m_p); the common factor
+    // m_p > 0 cancels from both sides.
+    const i128 mp = game_->system().power(p).numerator();
+    const i128 n1 = game_->rewards()(c1).numerator();
+    const i128 n2 = game_->rewards()(c2).numerator();
+    const i128 d1 = s.mass(c1).numerator() + (c1 == here ? 0 : mp);
+    const i128 d2 = s.mass(c2).numerator() + (c2 == here ? 0 : mp);
+    return compare_fractions(n1, d1, n2, d2);
+  }
+  const Rational v1 = c1 == here ? game_->payoff(s, p)
+                                 : game_->payoff_if_move(s, p, c1);
+  const Rational v2 = c2 == here ? game_->payoff(s, p)
+                                 : game_->payoff_if_move(s, p, c2);
+  return v1 <=> v2;
+}
+
+}  // namespace goc

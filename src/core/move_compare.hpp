@@ -1,0 +1,57 @@
+#pragma once
+
+#include <compare>
+
+#include "core/configuration.hpp"
+#include "core/game.hpp"
+#include "util/int128.hpp"
+
+/// \file move_compare.hpp
+/// The index-backed fast path for better-response comparisons.
+///
+/// `core/moves.*` is the *scan-based reference*: it evaluates full payoffs
+/// with normalized `Rational` arithmetic (GCD on every operation). The hot
+/// loop only ever needs *orderings* of post-move payoffs of one miner, and
+/// for miner p those reduce to comparing F(a)/(M_a + m_p) against
+/// F(b)/(M_b + m_p) — a cross-multiplication. When every power and reward
+/// is an integer (the overwhelmingly common workload: all generators emit
+/// integers), masses are integers too and the whole comparison is two raw
+/// `i128` multiplies with no `Rational` construction and no GCD. Overflowing
+/// products and non-integer games fall back to the exact `Rational` path,
+/// so the ordering returned is always exact — bit-for-bit the same decision
+/// the reference scan makes.
+
+namespace goc {
+
+/// Exact post-move payoff comparisons for a fixed game, with an integer
+/// `i128` fast path. Holds a reference to the game; the configuration is
+/// passed per call so one comparator serves an evolving trajectory.
+class MoveComparator {
+ public:
+  explicit MoveComparator(const Game& game);
+
+  /// True when every power and reward is an integer, enabling the raw
+  /// `i128` cross-multiplication path.
+  bool integer_mode() const noexcept { return integer_mode_; }
+
+  /// Compares miner p's payoff after unilaterally moving to `c1` vs `c2`
+  /// (either may equal s.of(p), meaning "stay put" — the current payoff).
+  /// Exact: equals comparing `game.payoff_if_move` results, without the
+  /// Rational construction in integer mode. Coins must be mineable by p.
+  std::strong_ordering compare(const Configuration& s, MinerId p, CoinId c1,
+                               CoinId c2) const;
+
+  /// True iff moving to `c` strictly improves p's payoff (c != s.of(p) and
+  /// p may mine c are the caller's responsibility to pre-check, as the
+  /// index does; `is_better_response` in moves.hpp is the checked
+  /// reference).
+  bool improves(const Configuration& s, MinerId p, CoinId c) const {
+    return compare(s, p, c, s.of(p)) > 0;
+  }
+
+ private:
+  const Game* game_;
+  bool integer_mode_;
+};
+
+}  // namespace goc

@@ -1,11 +1,29 @@
 #include "dynamics/learning.hpp"
 
+#include <optional>
+
 #include "core/moves.hpp"
+#include "dynamics/best_response_index.hpp"
 #include "potential/list_potential.hpp"
 #include "potential/observations.hpp"
 #include "util/assert.hpp"
 
 namespace goc {
+
+namespace {
+
+/// FNV-1a over the identifying fields of a move (gain is derived).
+void hash_move(std::uint64_t& h, const Move& move) {
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(move.miner.value);
+  mix(move.from.value);
+  mix(move.to.value);
+}
+
+}  // namespace
 
 LearningResult run_learning(const Game& game, Configuration start,
                             Scheduler& scheduler, const LearningOptions& options) {
@@ -22,8 +40,14 @@ LearningResult run_learning(const Game& game, Configuration start,
   PotentialKey prev_key;
   if (options.audit_potential) prev_key = potential_key(game, s);
 
+  // No index for schedulers that would fall back to the scan anyway:
+  // external Scheduler subclasses pay nothing for the fast path.
+  std::optional<dynamics::BestResponseIndex> index;
+  if (options.use_index && scheduler.supports_index()) index.emplace(game, s);
+
   while (result.steps < options.max_steps) {
-    const auto move = scheduler.pick(game, s);
+    const auto move = index ? scheduler.pick_indexed(game, s, *index)
+                            : scheduler.pick(game, s);
     if (!move) {
       result.converged = true;
       break;
@@ -39,7 +63,9 @@ LearningResult run_learning(const Game& game, Configuration start,
                  "Observation 2 violated: RPU did not rise on both coins");
     }
     s.move(move->miner, move->to);
+    if (index) index->sync(s);
     ++result.steps;
+    hash_move(result.move_hash, *move);
     if (keep_moves) {
       result.trace.add_step(
           *move, options.record_configurations ? &s : nullptr);
@@ -49,6 +75,7 @@ LearningResult run_learning(const Game& game, Configuration start,
       GOC_ASSERT(prev_key < key,
                  "Theorem 1 violated: ordinal potential did not increase");
       prev_key = std::move(key);
+      if (index) index->audit();
     }
   }
   if (!result.converged) {
@@ -71,23 +98,42 @@ LearningResult run_learning_to_epsilon(const Game& game, Configuration start,
   const bool keep_moves = options.record_moves || options.record_configurations;
   if (options.record_configurations) result.trace.set_start(s);
 
+  std::optional<dynamics::BestResponseIndex> index;
+  if (options.use_index) index.emplace(game, s);
+
   while (result.steps < options.max_steps) {
     // Globally maximal relative gain; ties toward lower miner/coin ids.
     std::optional<Move> best;
     Rational best_relative(0);
-    for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
-      const MinerId miner(p);
-      const Rational current = game.payoff(s, miner);
-      const CoinId here = s.of(miner);
-      for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
-        const CoinId coin(c);
-        if (coin == here || !game.can_mine(miner, coin)) continue;
-        const Rational after = game.payoff_if_move(s, miner, coin);
-        if (after <= current) continue;
-        const Rational relative = (after - current) / current;
+    if (index) {
+      // The maximal-relative-gain move of a miner is its best response
+      // (current payoff is fixed per miner), so only unstable miners'
+      // cached bests compete. The strict `>` over the id-ordered unstable
+      // set reproduces the scan's lowest-miner tie-break.
+      for (const MinerId miner : index->unstable()) {
+        const Rational relative =
+            index->best_gain(miner) / game.payoff(s, miner);
         if (!best || relative > best_relative) {
-          best = Move{miner, here, coin, after - current};
+          best = index->best_move(miner);
           best_relative = relative;
+        }
+      }
+      if (options.audit_potential) index->audit();
+    } else {
+      for (std::uint32_t p = 0; p < game.num_miners(); ++p) {
+        const MinerId miner(p);
+        const Rational current = game.payoff(s, miner);
+        const CoinId here = s.of(miner);
+        for (std::uint32_t c = 0; c < game.num_coins(); ++c) {
+          const CoinId coin(c);
+          if (coin == here || !game.can_mine(miner, coin)) continue;
+          const Rational after = game.payoff_if_move(s, miner, coin);
+          if (after <= current) continue;
+          const Rational relative = (after - current) / current;
+          if (!best || relative > best_relative) {
+            best = Move{miner, here, coin, after - current};
+            best_relative = relative;
+          }
         }
       }
     }
@@ -96,7 +142,9 @@ LearningResult run_learning_to_epsilon(const Game& game, Configuration start,
       break;
     }
     s.move(best->miner, best->to);
+    if (index) index->sync(s);
     ++result.steps;
+    hash_move(result.move_hash, *best);
     if (keep_moves) {
       result.trace.add_step(*best,
                             options.record_configurations ? &s : nullptr);

@@ -13,6 +13,13 @@
 /// guarantees termination for every scheduler; the driver still takes a
 /// step cap as a defensive bound (an exceeded cap in a correct build is a
 /// bug, and `converged=false` makes it loud).
+///
+/// The driver owns a `BestResponseIndex` lifecycle: by default every step
+/// goes through the index fast path (`Scheduler::pick_indexed`, O(Δ) per
+/// step); `use_index = false` selects the from-scratch scan path. The two
+/// paths pick identical move sequences — `move_hash` in the result lets
+/// callers assert that cheaply, and `audit_potential` cross-checks the
+/// index against the reference scans every step.
 
 namespace goc {
 
@@ -28,9 +35,16 @@ struct LearningOptions {
   bool record_configurations = false;
 
   /// Verify after every step that the Theorem 1 ordinal potential strictly
-  /// increased, and that the move satisfied Observations 1–2; throws
-  /// goc::InvariantError on violation. O(|C| log |C|) extra per step.
+  /// increased, that the move satisfied Observations 1–2, and (on the
+  /// index path) that the BestResponseIndex agrees fact-for-fact with the
+  /// from-scratch scans; throws goc::InvariantError on violation.
+  /// O(n·|C|) extra per step.
   bool audit_potential = false;
+
+  /// Drive scheduling through the incremental BestResponseIndex (the hot
+  /// path). `false` selects the scan-based reference implementation; both
+  /// produce the same move sequence.
+  bool use_index = true;
 };
 
 struct LearningResult {
@@ -38,6 +52,11 @@ struct LearningResult {
   std::uint64_t steps = 0;
   bool converged = false;  ///< final configuration is an equilibrium
   Trace trace;             ///< populated per LearningOptions
+
+  /// FNV-1a hash of the move sequence (miner, from, to per step) — always
+  /// populated, so scan/index (and serial/parallel) trajectory equality
+  /// can be checked without recording moves.
+  std::uint64_t move_hash = 0xcbf29ce484222325ULL;
 };
 
 /// Runs better-response learning in `game` from `start` under `scheduler`.

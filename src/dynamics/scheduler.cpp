@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "dynamics/best_response_index.hpp"
 #include "util/assert.hpp"
 
 namespace goc {
 namespace {
+
+using dynamics::BestResponseIndex;
 
 /// Builds the Move record for miner p moving to its best response.
 std::optional<Move> best_response_move(const Game& game, const Configuration& s,
@@ -20,11 +23,31 @@ class RandomMoveScheduler final : public Scheduler {
   explicit RandomMoveScheduler(std::uint64_t seed) : rng_(seed) {}
 
   std::optional<Move> pick(const Game& game, const Configuration& s) override {
-    std::vector<Move> moves = all_better_response_moves(game, s);
-    if (moves.empty()) return std::nullopt;
-    return moves[rng_.pick_index(moves)];
+    // Count-then-select: one uniform draw over the same (miner, coin)
+    // ordering the old materialized vector had, but without building (and
+    // copying) n·|C| Move records with Rational gains every step.
+    const std::size_t total = count_all_better_response_moves(game, s);
+    if (total == 0) return std::nullopt;
+    return nth_better_response_move(game, s, rng_.next_below(total));
+  }
+
+  std::optional<Move> pick_indexed(const Game& game, const Configuration& s,
+                                   const BestResponseIndex& index) override {
+    (void)game;
+    (void)s;
+    const std::size_t total = index.total_improving();
+    if (total == 0) return std::nullopt;
+    std::size_t n = rng_.next_below(total);
+    for (const MinerId p : index.unstable()) {
+      const std::size_t here = index.improving_count(p);
+      if (n < here) return index.move_to(p, index.nth_improving(p, n));
+      n -= here;
+    }
+    GOC_ASSERT(false, "improving-move counts out of sync");
+    return std::nullopt;
   }
   std::string name() const override { return "random-move"; }
+  bool supports_index() const override { return true; }
 
  private:
   Rng rng_;
@@ -43,7 +66,21 @@ class RandomMinerScheduler final : public Scheduler {
     const CoinId to = options[rng_.pick_index(options)];
     return Move{p, s.of(p), to, move_gain(game, s, p, to)};
   }
+
+  std::optional<Move> pick_indexed(const Game& game, const Configuration& s,
+                                   const BestResponseIndex& index) override {
+    (void)game;
+    (void)s;
+    const std::vector<MinerId>& unstable = index.unstable();
+    if (unstable.empty()) return std::nullopt;
+    const MinerId p = unstable[rng_.pick_index(unstable)];
+    const std::size_t options = index.improving_count(p);
+    GOC_ASSERT(options > 0, "unstable miner without better responses");
+    const CoinId to = index.nth_improving(p, rng_.next_below(options));
+    return index.move_to(p, to);
+  }
   std::string name() const override { return "random-miner"; }
+  bool supports_index() const override { return true; }
 
  private:
   Rng rng_;
@@ -60,7 +97,20 @@ class RoundRobinScheduler final : public Scheduler {
     }
     return std::nullopt;
   }
+
+  std::optional<Move> pick_indexed(const Game& game, const Configuration& s,
+                                   const BestResponseIndex& index) override {
+    (void)s;
+    const std::size_t n = game.num_miners();
+    for (std::size_t scanned = 0; scanned < n; ++scanned) {
+      const MinerId p(static_cast<std::uint32_t>(cursor_));
+      cursor_ = (cursor_ + 1) % n;
+      if (!index.stable(p)) return index.best_move(p);
+    }
+    return std::nullopt;
+  }
   std::string name() const override { return "round-robin"; }
+  bool supports_index() const override { return true; }
   void reset() override { cursor_ = 0; }
 
  private:
@@ -84,7 +134,35 @@ class GainExtremalScheduler final : public Scheduler {
                                return better(a, b);
                              });
   }
+
+  std::optional<Move> pick_indexed(const Game& game, const Configuration& s,
+                                   const BestResponseIndex& index) override {
+    (void)game;
+    (void)s;
+    // The extremal move over all improving (miner, coin) pairs decomposes
+    // per miner: the max-gain move of a miner is its best response, the
+    // min-gain move its lowest-payoff improving coin — with lowest-coin-id
+    // ties inside the miner, and the unstable scan in miner-id order with
+    // strict comparisons reproducing the lowest-miner-id tie-break.
+    // Cross-miner gain comparisons stay exact `Rational` (max-gain reads
+    // the cached gains; min-gain computes one candidate gain per unstable
+    // miner per pick — O(U) rational ops, traded against the considerably
+    // hairier i128 form of m_p·(F(t)/(M_t+m_p) − F(x)/M_x) comparisons).
+    std::optional<Move> chosen;
+    for (const MinerId p : index.unstable()) {
+      Move candidate = kMax
+                           ? *index.best_move(p)
+                           : index.move_to(p, index.min_improving(p));
+      if (!chosen ||
+          (kMax ? candidate.gain > chosen->gain
+                : candidate.gain < chosen->gain)) {
+        chosen = std::move(candidate);
+      }
+    }
+    return chosen;
+  }
   std::string name() const override { return kMax ? "max-gain" : "min-gain"; }
+  bool supports_index() const override { return true; }
 };
 
 /// Power-ordered schedulers: the heaviest (or lightest) unstable miner takes
@@ -95,6 +173,24 @@ class PowerOrderedScheduler final : public Scheduler {
   std::optional<Move> pick(const Game& game, const Configuration& s) override {
     const std::vector<MinerId> unstable = unstable_miners(game, s);
     if (unstable.empty()) return std::nullopt;
+    return best_response_move(game, s, choose(game, unstable));
+  }
+
+  std::optional<Move> pick_indexed(const Game& game, const Configuration& s,
+                                   const BestResponseIndex& index) override {
+    (void)s;
+    const std::vector<MinerId>& unstable = index.unstable();
+    if (unstable.empty()) return std::nullopt;
+    return index.best_move(choose(game, unstable));
+  }
+  std::string name() const override {
+    return kLargest ? "largest-first" : "smallest-first";
+  }
+  bool supports_index() const override { return true; }
+
+ private:
+  static MinerId choose(const Game& game,
+                        const std::vector<MinerId>& unstable) {
     const System& system = game.system();
     MinerId chosen = unstable.front();
     for (const MinerId p : unstable) {
@@ -103,10 +199,7 @@ class PowerOrderedScheduler final : public Scheduler {
                    : system.power(p) < system.power(chosen);
       if (strictly_better) chosen = p;
     }
-    return best_response_move(game, s, chosen);
-  }
-  std::string name() const override {
-    return kLargest ? "largest-first" : "smallest-first";
+    return chosen;
   }
 };
 
@@ -123,7 +216,17 @@ class LexicographicScheduler final : public Scheduler {
     }
     return std::nullopt;
   }
+
+  std::optional<Move> pick_indexed(const Game& game, const Configuration& s,
+                                   const BestResponseIndex& index) override {
+    (void)game;
+    (void)s;
+    if (index.unstable().empty()) return std::nullopt;
+    const MinerId miner = index.unstable().front();
+    return index.move_to(miner, index.nth_improving(miner, 0));
+  }
   std::string name() const override { return "lexicographic"; }
+  bool supports_index() const override { return true; }
 };
 
 }  // namespace

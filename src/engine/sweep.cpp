@@ -105,6 +105,7 @@ bool SweepRecord::deterministic_equals(const SweepRecord& other) const {
          task.game_seed == other.task.game_seed &&
          task.scheduler_seed == other.task.scheduler_seed &&
          steps == other.steps && converged == other.converged &&
+         move_hash == other.move_hash &&
          welfare_efficiency == other.welfare_efficiency &&
          rpu_fairness == other.rpu_fairness &&
          max_domination_share == other.max_domination_share &&
@@ -180,7 +181,8 @@ std::string SweepResult::to_csv(bool include_timing) const {
         "grid_index",  "trial",          "miners",
         "coins",       "powers",         "rewards",
         "scheduler",   "game_seed",      "scheduler_seed",
-        "steps",       "converged",      "welfare_efficiency",
+        "steps",       "converged",      "move_hash",
+        "welfare_efficiency",
         "rpu_fairness", "dom_share",     "majority_controlled",
         "occupied_coins"};
     if (include_timing) headers.push_back("wall_ms");
@@ -196,7 +198,8 @@ std::string SweepResult::to_csv(bool include_timing) const {
         << scheduler_kind_name(r.task.scheduler)
         << std::uint64_t(r.task.game_seed)
         << std::uint64_t(r.task.scheduler_seed) << std::uint64_t(r.steps)
-        << (r.converged ? "1" : "0") << fmt_double(r.welfare_efficiency, 6)
+        << (r.converged ? "1" : "0") << std::uint64_t(r.move_hash)
+        << fmt_double(r.welfare_efficiency, 6)
         << fmt_double(r.rpu_fairness, 6) << fmt_double(r.max_domination_share, 6)
         << std::uint64_t(r.majority_controlled)
         << std::uint64_t(r.occupied_coins);
@@ -233,6 +236,7 @@ std::string SweepResult::to_json(bool include_timing) const {
        << ", \"scheduler_seed\": " << r.task.scheduler_seed
        << ", \"steps\": " << r.steps
        << ", \"converged\": " << (r.converged ? "true" : "false")
+       << ", \"move_hash\": " << r.move_hash
        << ", \"welfare_efficiency\": " << fmt_double(r.welfare_efficiency, 6)
        << ", \"rpu_fairness\": " << fmt_double(r.rpu_fairness, 6)
        << ", \"dom_share\": " << fmt_double(r.max_domination_share, 6)
@@ -272,6 +276,7 @@ SweepRecord SweepRunner::run_task(const SweepTask& task,
   record.task = task;
   record.steps = learned.steps;
   record.converged = learned.converged;
+  record.move_hash = learned.move_hash;
 
   const Configuration& final_s = learned.final_configuration;
   record.welfare_efficiency =
@@ -293,12 +298,8 @@ SweepRecord SweepRunner::run_task(const SweepTask& task,
 
 SweepResult SweepRunner::run(const SweepSpec& spec) const {
   const std::vector<SweepTask> tasks = spec.expand();
-  const std::size_t lanes = options_.threads == 0
-                                ? ThreadPool::default_threads()
-                                : options_.threads;
-  // `lanes` counts total concurrent lanes; the calling thread is one of
-  // them, so a 1-lane run spawns no workers at all (the serial path).
-  ThreadPool pool(lanes > 1 ? lanes - 1 : 0);
+  const std::size_t lanes = ThreadPool::resolve_lanes(options_.threads);
+  ThreadPool pool(ThreadPool::workers_for(lanes));
 
   std::vector<SweepRecord> records(tasks.size());
   const auto started = clock_type::now();

@@ -92,6 +92,12 @@ struct SweepRecord {
   std::uint64_t steps = 0;
   bool converged = false;
 
+  /// FNV-1a hash of the full move sequence (from LearningResult). Part of
+  /// the determinism contract: bit-equality here means the trajectories —
+  /// not just the endpoints — coincided, which is how `--compare-scan`
+  /// proves the index path picks the exact moves the scan path picks.
+  std::uint64_t move_hash = 0;
+
   /// distributed_reward / total_reward at the final configuration (1.0 at
   /// any equilibrium under Assumption 1 — Observation 3).
   double welfare_efficiency = 0.0;

@@ -70,6 +70,20 @@ class ThreadPool {
   /// `max(1, hardware_concurrency)` — the default worker count for sweeps.
   static std::size_t default_threads();
 
+  /// Resolves a user-facing `--threads` value to a total lane count:
+  /// 0 means one lane per hardware thread.
+  static std::size_t resolve_lanes(std::size_t threads) {
+    return threads == 0 ? default_threads() : threads;
+  }
+
+  /// Workers to spawn for `lanes` total concurrent lanes. The calling
+  /// thread is itself a lane, so 1 lane means zero workers (the serial
+  /// reference path). Every `--threads` consumer shares this convention:
+  /// `ThreadPool pool(ThreadPool::workers_for(lanes));`.
+  static std::size_t workers_for(std::size_t lanes) {
+    return lanes > 1 ? lanes - 1 : 0;
+  }
+
  private:
   void worker_loop();
 

@@ -1,0 +1,372 @@
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/generators.hpp"
+#include "core/move_compare.hpp"
+#include "core/moves.hpp"
+#include "dynamics/best_response_index.hpp"
+#include "dynamics/learning.hpp"
+#include "dynamics/scheduler.hpp"
+
+/// The index contract: `dynamics::BestResponseIndex` must agree with the
+/// scan-based reference implementation in core/moves.* on every cached
+/// fact, and schedulers driven through it must pick bit-identical move
+/// sequences — for every scheduler kind, under adversarial mass ties
+/// (Assumption 2 off), under restricted access, and in the non-integer
+/// exact-arithmetic fallback mode.
+
+namespace goc {
+namespace {
+
+using dynamics::BestResponseIndex;
+
+Game random_integer_game(Rng& rng) {
+  GameSpec spec;
+  spec.num_miners = 3 + static_cast<std::size_t>(rng.next_below(15));
+  spec.num_coins = 2 + static_cast<std::size_t>(rng.next_below(5));
+  spec.power_lo = 1;
+  spec.power_hi = 500;
+  spec.reward_lo = 10;
+  spec.reward_hi = 5000;
+  return random_game(spec, rng);
+}
+
+/// A game whose powers and rewards are non-integer rationals, forcing the
+/// comparator off the i128 fast path.
+Game rational_game() {
+  std::vector<Rational> powers = {Rational(7, 3), Rational(5, 3),
+                                  Rational(11, 7), Rational(1, 2),
+                                  Rational(13, 6)};
+  std::vector<Rational> rewards = {Rational(10, 3), Rational(7, 2),
+                                   Rational(9, 4)};
+  const std::size_t coins = rewards.size();
+  return Game(System(std::move(powers), coins),
+              RewardFunction(std::move(rewards)));
+}
+
+/// Equal powers and equal rewards: Assumption 2 (genericity) is maximally
+/// violated, so post-move payoffs tie constantly and every tie-break in
+/// the index is exercised.
+Game tie_game(std::size_t miners, std::size_t coins) {
+  return Game(System::from_integer_powers(
+                  std::vector<std::int64_t>(miners, 3), coins),
+              RewardFunction::constant(coins, Rational(12)));
+}
+
+void expect_index_matches_scan(const Game& g, const Configuration& s,
+                               const BestResponseIndex& index) {
+  ASSERT_NO_THROW(index.audit());
+  EXPECT_EQ(index.unstable(), unstable_miners(g, s));
+  EXPECT_EQ(index.total_improving(), all_better_response_moves(g, s).size());
+  EXPECT_EQ(index.at_equilibrium(), is_equilibrium(g, s));
+  for (std::uint32_t p = 0; p < g.num_miners(); ++p) {
+    const MinerId miner(p);
+    EXPECT_EQ(index.best_of(miner), best_response(g, s, miner));
+    const auto options = better_responses(g, s, miner);
+    ASSERT_EQ(index.improving_count(miner), options.size());
+    for (std::size_t i = 0; i < options.size(); ++i) {
+      EXPECT_EQ(index.nth_improving(miner, i), options[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------- configuration hook
+
+TEST(MoveEpoch, EffectiveMovesBumpEpochAndRecordDelta) {
+  const Game g = tie_game(4, 3);
+  Configuration s = Configuration::all_at(g.system_ptr(), CoinId(0));
+  EXPECT_EQ(s.move_epoch(), 0u);
+  s.move(MinerId(2), CoinId(1));
+  EXPECT_EQ(s.move_epoch(), 1u);
+  EXPECT_EQ(s.last_delta().miner, MinerId(2));
+  EXPECT_EQ(s.last_delta().from, CoinId(0));
+  EXPECT_EQ(s.last_delta().to, CoinId(1));
+  // No-op move: epoch unchanged.
+  s.move(MinerId(2), CoinId(1));
+  EXPECT_EQ(s.move_epoch(), 1u);
+  // Copies inherit the epoch counter.
+  const Configuration copy = s;
+  EXPECT_EQ(copy.move_epoch(), 1u);
+}
+
+// -------------------------------------------------------- move comparator
+
+TEST(MoveComparator, AgreesWithPayoffOrderOnRandomConfigurations) {
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Game g = random_integer_game(rng);
+    const MoveComparator cmp(g);
+    EXPECT_TRUE(cmp.integer_mode());
+    const Configuration s = random_configuration(g, rng);
+    for (std::uint32_t p = 0; p < g.num_miners(); ++p) {
+      const MinerId miner(p);
+      for (std::uint32_t a = 0; a < g.num_coins(); ++a) {
+        for (std::uint32_t b = 0; b < g.num_coins(); ++b) {
+          const Rational va = g.payoff_if_move(s, miner, CoinId(a));
+          const Rational vb = g.payoff_if_move(s, miner, CoinId(b));
+          EXPECT_EQ(cmp.compare(s, miner, CoinId(a), CoinId(b)), va <=> vb);
+        }
+      }
+    }
+  }
+}
+
+TEST(MoveComparator, ExactModeForNonIntegerGames) {
+  const Game g = rational_game();
+  const MoveComparator cmp(g);
+  EXPECT_FALSE(cmp.integer_mode());
+  Rng rng(7);
+  const Configuration s = random_configuration(g, rng);
+  for (std::uint32_t p = 0; p < g.num_miners(); ++p) {
+    const MinerId miner(p);
+    for (std::uint32_t a = 0; a < g.num_coins(); ++a) {
+      for (std::uint32_t b = 0; b < g.num_coins(); ++b) {
+        const Rational va = g.payoff_if_move(s, miner, CoinId(a));
+        const Rational vb = g.payoff_if_move(s, miner, CoinId(b));
+        EXPECT_EQ(cmp.compare(s, miner, CoinId(a), CoinId(b)), va <=> vb);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------- index vs scan
+
+TEST(BestResponseIndex, FreshBuildMatchesScan) {
+  Rng rng(11);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Game g = random_integer_game(rng);
+    const Configuration s = random_configuration(g, rng);
+    const BestResponseIndex index(g, s);
+    expect_index_matches_scan(g, s, index);
+  }
+}
+
+TEST(BestResponseIndex, IncrementalSyncMatchesScanAlongTrajectories) {
+  Rng rng(13);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Game g = random_integer_game(rng);
+    Configuration s = random_configuration(g, rng);
+    BestResponseIndex index(g, s);
+    auto scheduler = make_scheduler(SchedulerKind::kRandomMove, 99 + trial);
+    for (int step = 0; step < 200; ++step) {
+      const auto move = scheduler->pick(g, s);
+      if (!move) break;
+      s.move(move->miner, move->to);
+      index.sync(s);
+      expect_index_matches_scan(g, s, index);
+    }
+  }
+}
+
+TEST(BestResponseIndex, InvalidationStressUnderAdversarialMassTies) {
+  // Assumption 2 off: every miner identical, every reward identical — the
+  // payoff landscape is wall-to-wall exact ties, so stale-best and
+  // tie-break bugs in the dirty-coin invalidation cannot hide.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    const Game g = tie_game(12, 4);
+    Rng rng(seed);
+    Configuration s = random_configuration(g, rng);
+    BestResponseIndex index(g, s);
+    auto scheduler = make_scheduler(SchedulerKind::kRandomMove, seed * 31);
+    for (int step = 0; step < 300; ++step) {
+      const auto move = scheduler->pick(g, s);
+      if (!move) break;
+      s.move(move->miner, move->to);
+      index.sync(s);
+      expect_index_matches_scan(g, s, index);
+    }
+    EXPECT_TRUE(is_equilibrium(g, s));
+  }
+}
+
+TEST(BestResponseIndex, SyncRebuildsAfterBatchedForeignMoves) {
+  const Game g = tie_game(8, 3);
+  Rng rng(5);
+  // Everyone piled onto one coin: far from equilibrium, so at least two
+  // consecutive improving moves exist.
+  Configuration s = Configuration::all_at(g.system_ptr(), CoinId(0));
+  BestResponseIndex index(g, s);
+  // Two moves without an intervening sync: the epoch jumps by 2, so sync
+  // must fall back to a full rebuild rather than replaying one delta.
+  const auto moves = all_better_response_moves(g, s);
+  ASSERT_GE(moves.size(), 1u);
+  s.move(moves.front().miner, moves.front().to);
+  const auto more = all_better_response_moves(g, s);
+  ASSERT_GE(more.size(), 1u);
+  s.move(more.front().miner, more.front().to);
+  EXPECT_FALSE(index.in_sync(s));
+  index.sync(s);
+  EXPECT_TRUE(index.in_sync(s));
+  expect_index_matches_scan(g, s, index);
+  // Syncing to a *different* configuration object also rebuilds.
+  Configuration other = random_configuration(g, rng);
+  index.sync(other);
+  expect_index_matches_scan(g, other, index);
+}
+
+// ------------------------------------- scheduler path equivalence (all 8)
+
+class IndexedSchedulerEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<SchedulerKind, std::uint64_t>> {};
+
+TEST_P(IndexedSchedulerEquivalence, TrajectoriesMatchMoveForMove) {
+  const auto [kind, seed] = GetParam();
+  Rng rng(seed);
+  const Game g = random_integer_game(rng);
+  const Configuration start = random_configuration(g, rng);
+
+  LearningOptions scan_opts;
+  scan_opts.use_index = false;
+  scan_opts.record_moves = true;
+  LearningOptions index_opts;
+  index_opts.use_index = true;
+  index_opts.record_moves = true;
+
+  auto scan_sched = make_scheduler(kind, seed ^ 0xF00D);
+  auto index_sched = make_scheduler(kind, seed ^ 0xF00D);
+  const LearningResult scan = run_learning(g, start, *scan_sched, scan_opts);
+  const LearningResult indexed =
+      run_learning(g, start, *index_sched, index_opts);
+
+  EXPECT_TRUE(scan.converged);
+  EXPECT_TRUE(indexed.converged);
+  ASSERT_EQ(scan.steps, indexed.steps) << scheduler_kind_name(kind);
+  EXPECT_EQ(scan.move_hash, indexed.move_hash);
+  EXPECT_TRUE(scan.final_configuration == indexed.final_configuration);
+  ASSERT_EQ(scan.trace.size(), indexed.trace.size());
+  for (std::size_t i = 0; i < scan.trace.size(); ++i) {
+    const Move& a = scan.trace.moves()[i];
+    const Move& b = indexed.trace.moves()[i];
+    EXPECT_EQ(a.miner, b.miner) << "step " << i;
+    EXPECT_EQ(a.from, b.from) << "step " << i;
+    EXPECT_EQ(a.to, b.to) << "step " << i;
+    EXPECT_EQ(a.gain, b.gain) << "step " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, IndexedSchedulerEquivalence,
+    ::testing::Combine(::testing::ValuesIn(all_scheduler_kinds()),
+                       ::testing::Values(21u, 22u, 23u, 24u)));
+
+TEST(IndexedScheduler, TieGameTrajectoriesMatchForEveryKind) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const Game g = tie_game(10, 3);
+    Rng rng(77);
+    const Configuration start = random_configuration(g, rng);
+    LearningOptions scan_opts;
+    scan_opts.use_index = false;
+    LearningOptions index_opts;
+    index_opts.use_index = true;
+    auto a = make_scheduler(kind, 5);
+    auto b = make_scheduler(kind, 5);
+    const auto scan = run_learning(g, start, *a, scan_opts);
+    const auto indexed = run_learning(g, start, *b, index_opts);
+    EXPECT_EQ(scan.steps, indexed.steps) << scheduler_kind_name(kind);
+    EXPECT_EQ(scan.move_hash, indexed.move_hash) << scheduler_kind_name(kind);
+    EXPECT_TRUE(scan.final_configuration == indexed.final_configuration);
+  }
+}
+
+TEST(IndexedScheduler, RestrictedAccessTrajectoriesMatch) {
+  for (const SchedulerKind kind :
+       {SchedulerKind::kRandomMove, SchedulerKind::kMaxGain,
+        SchedulerKind::kMinGain, SchedulerKind::kLexicographic}) {
+    Rng rng(31);
+    GameSpec spec;
+    spec.num_miners = 12;
+    spec.num_coins = 5;
+    Game base = random_game(spec, rng);
+    AccessPolicy policy = AccessPolicy::random(12, 5, 0.5, rng);
+    const Game g(base.system_ptr(), base.rewards(), policy);
+    // Start everyone on an allowed coin.
+    std::vector<CoinId> assignment;
+    for (std::uint32_t p = 0; p < 12; ++p) {
+      assignment.push_back(g.allowed_coins(MinerId(p)).front());
+    }
+    const Configuration start(g.system_ptr(), assignment);
+    LearningOptions scan_opts;
+    scan_opts.use_index = false;
+    LearningOptions index_opts;
+    index_opts.use_index = true;
+    index_opts.audit_potential = true;  // audits the index every step
+    auto a = make_scheduler(kind, 9);
+    auto b = make_scheduler(kind, 9);
+    const auto scan = run_learning(g, start, *a, scan_opts);
+    const auto indexed = run_learning(g, start, *b, index_opts);
+    EXPECT_EQ(scan.steps, indexed.steps) << scheduler_kind_name(kind);
+    EXPECT_EQ(scan.move_hash, indexed.move_hash) << scheduler_kind_name(kind);
+  }
+}
+
+TEST(IndexedScheduler, NonIntegerGameTrajectoriesMatch) {
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    const Game g = rational_game();
+    Rng rng(41);
+    const Configuration start = random_configuration(g, rng);
+    LearningOptions scan_opts;
+    scan_opts.use_index = false;
+    LearningOptions index_opts;
+    index_opts.use_index = true;
+    index_opts.audit_potential = true;
+    auto a = make_scheduler(kind, 3);
+    auto b = make_scheduler(kind, 3);
+    const auto scan = run_learning(g, start, *a, scan_opts);
+    const auto indexed = run_learning(g, start, *b, index_opts);
+    EXPECT_EQ(scan.steps, indexed.steps) << scheduler_kind_name(kind);
+    EXPECT_EQ(scan.move_hash, indexed.move_hash) << scheduler_kind_name(kind);
+    EXPECT_TRUE(scan.final_configuration == indexed.final_configuration);
+  }
+}
+
+// --------------------------------------------------------- epsilon driver
+
+TEST(IndexedEpsilon, ScanAndIndexPathsAgree) {
+  Rng rng(53);
+  for (int trial = 0; trial < 4; ++trial) {
+    const Game g = random_integer_game(rng);
+    const Configuration start = random_configuration(g, rng);
+    for (const Rational& eps :
+         {Rational(0), Rational(1, 100), Rational(1, 4)}) {
+      LearningOptions scan_opts;
+      scan_opts.use_index = false;
+      LearningOptions index_opts;
+      index_opts.use_index = true;
+      const auto scan = run_learning_to_epsilon(g, start, eps, scan_opts);
+      const auto indexed = run_learning_to_epsilon(g, start, eps, index_opts);
+      EXPECT_EQ(scan.steps, indexed.steps);
+      EXPECT_EQ(scan.move_hash, indexed.move_hash);
+      EXPECT_TRUE(scan.final_configuration == indexed.final_configuration);
+      EXPECT_TRUE(scan.converged && indexed.converged);
+    }
+  }
+}
+
+// ------------------------------------------------- scan-path helper parity
+
+TEST(MoveScanHelpers, CountAndNthMatchMaterializedVector) {
+  Rng rng(61);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Game g = random_integer_game(rng);
+    const Configuration s = random_configuration(g, rng);
+    const auto moves = all_better_response_moves(g, s);
+    EXPECT_EQ(count_all_better_response_moves(g, s), moves.size());
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      const auto nth = nth_better_response_move(g, s, i);
+      ASSERT_TRUE(nth.has_value());
+      EXPECT_EQ(nth->miner, moves[i].miner);
+      EXPECT_EQ(nth->to, moves[i].to);
+      EXPECT_EQ(nth->gain, moves[i].gain);
+    }
+    EXPECT_FALSE(nth_better_response_move(g, s, moves.size()).has_value());
+    for (std::uint32_t p = 0; p < g.num_miners(); ++p) {
+      EXPECT_EQ(count_better_responses(g, s, MinerId(p)),
+                better_responses(g, s, MinerId(p)).size());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace goc

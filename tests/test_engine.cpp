@@ -171,6 +171,25 @@ TEST(SweepRunner, EngineReproducesTheDirectSerialPath) {
   }
 }
 
+TEST(SweepRunner, IndexAndScanPathsProduceBitIdenticalRecords) {
+  // The --compare-scan contract: a sweep scheduled through the incremental
+  // BestResponseIndex must reproduce the from-scratch scan path's records
+  // exactly — including the per-trajectory move hash, i.e. every scenario
+  // picked the same move sequence.
+  SweepSpec spec = small_spec();
+  spec.scheduler_kinds = all_scheduler_kinds();
+  spec.learning.use_index = true;
+  const SweepResult indexed = SweepRunner({/*threads=*/4}).run(spec);
+  spec.learning.use_index = false;
+  const SweepResult scanned = SweepRunner({/*threads=*/4}).run(spec);
+  ASSERT_EQ(indexed.records().size(), scanned.records().size());
+  EXPECT_TRUE(indexed.deterministic_equals(scanned));
+  for (std::size_t i = 0; i < indexed.records().size(); ++i) {
+    EXPECT_EQ(indexed.records()[i].move_hash, scanned.records()[i].move_hash)
+        << "record " << i;
+  }
+}
+
 // ------------------------------------------------------------ aggregation
 
 TEST(SweepResult, AggregatesMatchHandComputedStats) {
