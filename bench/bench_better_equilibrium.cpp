@@ -9,7 +9,9 @@
 /// the payoff gains on the table for the would-be manipulator.
 
 #include "bench_common.hpp"
+#include "core/enumerate.hpp"
 #include "core/generators.hpp"
+#include "engine/thread_pool.hpp"
 #include "equilibrium/assumptions.hpp"
 #include "equilibrium/better_equilibrium.hpp"
 #include "equilibrium/enumerate.hpp"
@@ -23,12 +25,26 @@ int run(int argc, char** argv) {
   const Cli cli(argc, argv);
   const std::size_t trials = cli.get_u64("trials", 60);
   const std::uint64_t seed0 = cli.get_u64("seed", 5);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
+  const bool compare_scan = cli.has("compare-scan");
 
   bench::banner(
       "E5 — Proposition 2: every equilibrium has a better one for someone",
       "Exhaustive equilibrium enumeration on random small games; assumption "
       "checks are exact (never-alone over all configurations, genericity "
-      "over all subset sums).");
+      "over all subset sums). Exhaustive walks run on the enumeration "
+      "engine (--threads; --compare-scan replays them on the legacy "
+      "walker and asserts identical results while timing both).");
+
+  // The engine's exhaustive walks share one pool across all games.
+  engine::ThreadPool pool(engine::ThreadPool::workers_for(
+      engine::ThreadPool::resolve_lanes(threads)));
+  EnumerationOptions engine_opts;
+  engine_opts.pool = &pool;
+  bench::Stopwatch split;
+  double engine_ms = 0.0;
+  double scan_ms = 0.0;
+  bool identical = true;
 
   Table table({"miners", "coins", "games", "A1&A2_ok", "avg_eqs",
                "multi_eq%", "prop2_holds%", "obs3_holds%", "avg_gain%",
@@ -61,11 +77,29 @@ int run(int argc, char** argv) {
       spec.distinct_powers = true;
       spec.sort_desc = true;
       const Game game = random_game(spec, rng);
-      if (find_never_alone_violation(game).has_value()) continue;
+      split.restart();
+      const bool never_alone_violated =
+          find_never_alone_violation(game, engine_opts).has_value();
+      engine_ms += split.elapsed_ms();
+      if (compare_scan) {
+        split.restart();
+        const bool scan_violated = find_never_alone_violation_scan(game).has_value();
+        scan_ms += split.elapsed_ms();
+        identical = identical && scan_violated == never_alone_violated;
+      }
+      if (never_alone_violated) continue;
       if (!is_generic(game)) continue;
       ++assumption_ok;
 
-      const auto eqs = enumerate_equilibria(game);
+      split.restart();
+      const auto eqs = enumerate_equilibria(game, engine_opts);
+      engine_ms += split.elapsed_ms();
+      if (compare_scan) {
+        split.restart();
+        const auto scan_eqs = enumerate_equilibria_scan(game);
+        scan_ms += split.elapsed_ms();
+        identical = identical && scan_eqs == eqs;
+      }
       eq_counts.add(static_cast<double>(eqs.size()));
       // Observation 3 at every equilibrium.
       for (const auto& s : eqs) {
@@ -103,6 +137,14 @@ int run(int argc, char** argv) {
   bench::emit(cli, table,
               "Equilibrium landscape (theory: prop2_holds% == 100 and "
               "obs3_holds% == 100 whenever A1 & A2 hold)");
+  std::cout << "[exhaustive walks on the enumeration engine: "
+            << fmt_double(engine_ms, 1) << " ms]\n";
+  if (compare_scan) {
+    std::cout << "[legacy scan replay: " << fmt_double(scan_ms, 1) << " ms => "
+              << fmt_double(scan_ms / engine_ms, 1) << "x, results "
+              << (identical ? "identical" : "MISMATCH") << "]\n";
+    return identical ? 0 : 1;
+  }
   return 0;
 }
 

@@ -27,10 +27,13 @@ int run(int argc, char** argv) {
   const std::size_t trials = cli.get_u64("trials", 200);
   const std::uint64_t seed0 = cli.get_u64("seed", 4);
   const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
+  const bool compare_scan = cli.has("compare-scan");
 
   bench::banner("E4 — Proposition 1: the game has no exact potential",
                 "Worked example: m=(2,1), F≡1, two coins; then a random-game "
-                "scan for 4-cycle obstructions (Monderer–Shapley).");
+                "scan for 4-cycle obstructions (Monderer–Shapley). 4-cycle "
+                "searches run on the enumeration engine (--compare-scan "
+                "replays them on the legacy walker and asserts agreement).");
 
   // The paper's table of four configurations and payoffs.
   const Game g = proposition1_game();
@@ -56,11 +59,9 @@ int run(int argc, char** argv) {
   // Task grid: family-major, trial-minor; one bool slot per task.
   const std::vector<std::pair<std::string, bool>> families = {
       {"distinct powers", true}, {"equal powers (congestion game)", false}};
-  std::vector<std::uint8_t> obstructed(families.size() * trials, 0);
-  const std::size_t lanes = engine::ThreadPool::resolve_lanes(threads);
-  engine::ThreadPool pool(engine::ThreadPool::workers_for(lanes));
-  bench::Stopwatch watch;
-  pool.parallel_for(obstructed.size(), [&](std::size_t i) {
+  // One game per task slot, shared by the engine pass and the
+  // --compare-scan replay so both always judge the same games.
+  const auto task_game = [&](std::size_t i) {
     const bool distinct = families[i / trials].second;
     Rng rng(engine::task_seed(seed0, i, 0));
     GameSpec spec;
@@ -70,8 +71,14 @@ int run(int argc, char** argv) {
     spec.power_hi = distinct ? 30 : 1;
     spec.power_shape = distinct ? PowerShape::kUniform : PowerShape::kEqual;
     spec.distinct_powers = distinct;
-    const Game game = random_game(spec, rng);
-    if (find_nonzero_four_cycle(game).has_value()) obstructed[i] = 1;
+    return random_game(spec, rng);
+  };
+  std::vector<std::uint8_t> obstructed(families.size() * trials, 0);
+  const std::size_t lanes = engine::ThreadPool::resolve_lanes(threads);
+  engine::ThreadPool pool(engine::ThreadPool::workers_for(lanes));
+  bench::Stopwatch watch;
+  pool.parallel_for(obstructed.size(), [&](std::size_t i) {
+    if (find_nonzero_four_cycle(task_game(i)).has_value()) obstructed[i] = 1;
   });
   const double wall_ms = watch.elapsed_ms();
 
@@ -92,6 +99,23 @@ int run(int argc, char** argv) {
               "(theory: ~1.0 for distinct powers, 0.0 for equal)");
   std::cout << "[" << obstructed.size() << " scan games on " << lanes
             << " lanes in " << fmt_double(wall_ms, 1) << " ms]\n";
+
+  if (compare_scan) {
+    // Replay the obstruction scan on the legacy full-space walker (same
+    // tasks, same seeds) and assert verdict-for-verdict agreement.
+    std::vector<std::uint8_t> legacy(obstructed.size(), 0);
+    watch.restart();
+    pool.parallel_for(legacy.size(), [&](std::size_t i) {
+      if (find_nonzero_four_cycle_scan(task_game(i)).has_value()) legacy[i] = 1;
+    });
+    const double legacy_ms = watch.elapsed_ms();
+    const bool identical = legacy == obstructed;
+    std::cout << "[compare-scan: legacy walker " << fmt_double(legacy_ms, 1)
+              << " ms vs engine " << fmt_double(wall_ms, 1) << " ms => "
+              << fmt_double(legacy_ms / wall_ms, 1) << "x, verdicts "
+              << (identical ? "identical" : "MISMATCH") << "]\n";
+    if (!identical) return 1;
+  }
   return cycle.is_zero() ? 1 : 0;
 }
 

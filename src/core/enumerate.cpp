@@ -1,6 +1,9 @@
 #include "core/enumerate.hpp"
 
+#include <algorithm>
+
 #include "util/assert.hpp"
+#include "util/int128.hpp"
 
 namespace goc {
 
@@ -41,6 +44,343 @@ void for_each_configuration(
     }
     if (pos == n) return;  // odometer wrapped — all configurations visited
   }
+}
+
+// ---------------------------------------------------------------- symmetry
+
+namespace {
+
+/// C(n, k) as u64; nullopt on overflow. Exact at every step: the running
+/// product after multiplying by (n-k+i) is divisible by i.
+std::optional<std::uint64_t> binomial(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  if (k > n - k) k = n - k;
+  u128 result = 1;
+  for (std::uint64_t i = 1; i <= k; ++i) {
+    u128 next;
+    if (__builtin_mul_overflow(result, static_cast<u128>(n - k + i), &next)) {
+      return std::nullopt;
+    }
+    result = next / i;
+  }
+  if (result > static_cast<u128>(UINT64_MAX)) return std::nullopt;
+  return static_cast<std::uint64_t>(result);
+}
+
+/// Non-decreasing sequences of length `slots` over `values` coin choices:
+/// C(slots + values - 1, slots).
+std::optional<std::uint64_t> multiset_count(std::uint64_t slots,
+                                            std::uint64_t values) {
+  if (slots == 0) return 1;
+  GOC_ASSERT(values > 0, "multiset_count over an empty value set");
+  return binomial(slots + values - 1, slots);
+}
+
+}  // namespace
+
+SymmetryClasses symmetry_classes(const Game& game) {
+  const std::size_t n = game.num_miners();
+  const std::size_t coins = game.num_coins();
+  SymmetryClasses out;
+  out.class_of.resize(n);
+  out.next_classmate.assign(n, -1);
+
+  const auto interchangeable = [&](MinerId a, MinerId b) {
+    if (!(game.system().power(a) == game.system().power(b))) return false;
+    for (std::uint32_t c = 0; c < coins; ++c) {
+      if (game.can_mine(a, CoinId(c)) != game.can_mine(b, CoinId(c))) return false;
+    }
+    return true;
+  };
+
+  for (std::uint32_t p = 0; p < n; ++p) {
+    const MinerId miner(p);
+    std::size_t found = out.classes.size();
+    for (std::size_t k = 0; k < out.classes.size(); ++k) {
+      if (interchangeable(out.classes[k].front(), miner)) {
+        found = k;
+        break;
+      }
+    }
+    if (found == out.classes.size()) {
+      out.classes.push_back({miner});
+    } else {
+      out.next_classmate[out.classes[found].back().value] =
+          static_cast<std::int32_t>(p);
+      out.classes[found].push_back(miner);
+      out.trivial = false;
+    }
+    out.class_of[p] = static_cast<std::uint32_t>(found);
+  }
+  return out;
+}
+
+SymmetryClasses classes_for(const Game& game, const EnumerationOptions& opts) {
+  return opts.symmetry ? symmetry_classes(game)
+                       : singleton_classes(game.num_miners());
+}
+
+SymmetryClasses singleton_classes(std::size_t num_miners) {
+  SymmetryClasses out;
+  out.class_of.resize(num_miners);
+  out.next_classmate.assign(num_miners, -1);
+  out.classes.reserve(num_miners);
+  for (std::uint32_t p = 0; p < num_miners; ++p) {
+    out.class_of[p] = p;
+    out.classes.push_back({MinerId(p)});
+  }
+  return out;
+}
+
+std::optional<std::uint64_t> canonical_count(const System& system,
+                                             const SymmetryClasses& classes) {
+  std::uint64_t total = 1;
+  for (const auto& members : classes.classes) {
+    const auto per_class = multiset_count(members.size(), system.num_coins());
+    if (!per_class.has_value()) return std::nullopt;
+    if (*per_class != 0 && total > UINT64_MAX / *per_class) return std::nullopt;
+    total *= *per_class;
+  }
+  return total;
+}
+
+std::uint64_t orbit_size(const std::vector<CoinId>& assignment,
+                         const SymmetryClasses& classes) {
+  u128 total = 1;
+  std::vector<std::uint64_t> on_coin;
+  for (const auto& members : classes.classes) {
+    if (members.size() < 2) continue;
+    on_coin.clear();
+    for (const MinerId p : members) {
+      const std::uint32_t c = assignment[p.value].value;
+      if (c >= on_coin.size()) on_coin.resize(c + 1, 0);
+      ++on_coin[c];
+    }
+    // |K|! / Π_c cnt_c! as a product of binomials C(remaining, cnt_c).
+    std::uint64_t remaining = members.size();
+    for (const std::uint64_t cnt : on_coin) {
+      if (cnt == 0) continue;
+      const auto choose = binomial(remaining, cnt);
+      if (!choose.has_value()) throw OverflowError("orbit size overflows u64");
+      u128 next;
+      if (__builtin_mul_overflow(total, static_cast<u128>(*choose), &next) ||
+          next > static_cast<u128>(UINT64_MAX)) {
+        throw OverflowError("orbit size overflows u64");
+      }
+      total = next;
+      remaining -= cnt;
+    }
+  }
+  return static_cast<std::uint64_t>(total);
+}
+
+std::vector<Configuration> expand_orbit(const Configuration& canonical,
+                                        const SymmetryClasses& classes) {
+  if (classes.trivial) return {canonical};
+  std::vector<Configuration> out;
+  std::vector<CoinId> scratch = canonical.assignment();
+
+  // Cartesian product over classes of the distinct within-class digit
+  // permutations. Canonical digits are sorted ascending per class, so
+  // std::next_permutation cycles through every distinct arrangement and
+  // ends back at sorted order.
+  const auto emit = [&](const auto& self, std::size_t class_idx) -> void {
+    if (class_idx == classes.classes.size()) {
+      out.emplace_back(canonical.system_ptr(), scratch);
+      return;
+    }
+    const auto& members = classes.classes[class_idx];
+    // Read from the canonical assignment (scratch holds whatever the
+    // previous arrangement of this class wrote).
+    std::vector<std::uint32_t> digits;
+    digits.reserve(members.size());
+    for (const MinerId p : members) {
+      digits.push_back(canonical.assignment()[p.value].value);
+    }
+    GOC_ASSERT(std::is_sorted(digits.begin(), digits.end()),
+               "expand_orbit requires a canonical representative");
+    do {
+      for (std::size_t j = 0; j < members.size(); ++j) {
+        scratch[members[j].value] = CoinId(digits[j]);
+      }
+      self(self, class_idx + 1);
+    } while (std::next_permutation(digits.begin(), digits.end()));
+  };
+  emit(emit, 0);
+  return out;
+}
+
+std::uint64_t odometer_rank(const std::vector<CoinId>& assignment,
+                            std::size_t num_coins) {
+  std::uint64_t rank = 0;
+  for (std::size_t i = assignment.size(); i-- > 0;) {
+    rank = rank * num_coins + assignment[i].value;
+  }
+  return rank;
+}
+
+// ---------------------------------------------------------------- sharding
+
+namespace {
+
+/// Canonical count of the free region given pinned prefix digits: per
+/// class, the free members (ids < free_miners, always a prefix of the
+/// class in id order) form a non-decreasing sequence bounded above by the
+/// class's first pinned digit (or the largest coin).
+std::uint64_t shard_size(const System& system, const SymmetryClasses& classes,
+                         std::size_t free_miners,
+                         const std::vector<std::uint32_t>& prefix) {
+  std::uint64_t total = 1;
+  for (const auto& members : classes.classes) {
+    std::size_t free_count = 0;
+    std::uint32_t values = static_cast<std::uint32_t>(system.num_coins());
+    for (const MinerId p : members) {
+      if (p.value < free_miners) {
+        ++free_count;
+      } else {
+        // First pinned member (smallest id >= free_miners) caps the free run.
+        values = prefix[p.value - free_miners] + 1;
+        break;
+      }
+    }
+    const auto per_class = multiset_count(free_count, values);
+    GOC_ASSERT(per_class.has_value(), "shard size overflows u64");
+    total *= *per_class;
+  }
+  return total;
+}
+
+}  // namespace
+
+ShardPlan plan_shards(const System& system, const SymmetryClasses& classes,
+                      std::size_t target_shards) {
+  const std::size_t n = system.num_miners();
+  const std::uint32_t coins = static_cast<std::uint32_t>(system.num_coins());
+
+  // Smallest pinned suffix whose canonical prefix count reaches the
+  // target. Counting per candidate k is closed-form, so this scan is cheap.
+  std::size_t pinned = 0;
+  if (target_shards > 1) {
+    for (; pinned < n; ++pinned) {
+      std::uint64_t count = 1;
+      bool overflow = false;
+      for (const auto& members : classes.classes) {
+        std::size_t in_suffix = 0;
+        for (const MinerId p : members) {
+          if (p.value >= n - pinned) ++in_suffix;
+        }
+        const auto per_class = multiset_count(in_suffix, coins);
+        if (!per_class.has_value() || (*per_class != 0 && count > UINT64_MAX / *per_class)) {
+          overflow = true;
+          break;
+        }
+        count *= *per_class;
+      }
+      if (overflow || count >= target_shards) break;
+    }
+  }
+
+  ShardPlan plan;
+  plan.free_miners = n - pinned;
+
+  // Enumerate the pinned digits canonically, least-significant pinned
+  // miner first — exactly the global odometer order of the prefixes.
+  std::vector<std::uint32_t> digits(n, 0);
+  std::uint64_t rank = 0;
+  for (;;) {
+    std::vector<std::uint32_t> prefix(digits.begin() +
+                                          static_cast<std::ptrdiff_t>(plan.free_miners),
+                                      digits.end());
+    const std::uint64_t size =
+        shard_size(system, classes, plan.free_miners, prefix);
+    plan.prefixes.push_back(std::move(prefix));
+    plan.sizes.push_back(size);
+    plan.start_ranks.push_back(rank);
+    rank += size;
+    std::size_t pos = plan.free_miners;
+    while (pos < n) {
+      if (digits[pos] < canonical_cap(classes, digits, pos, coins)) {
+        ++digits[pos];
+        break;
+      }
+      digits[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  return plan;
+}
+
+IntegerGameView integer_game_view(const Game& game) {
+  IntegerGameView view;
+  view.power.reserve(game.num_miners());
+  for (const Rational& m : game.system().powers()) {
+    GOC_CHECK_ARG(m.is_integer(), "integer_game_view requires integer powers");
+    view.power.push_back(m.numerator());
+  }
+  view.reward.reserve(game.num_coins());
+  for (const Rational& f : game.rewards().values()) {
+    GOC_CHECK_ARG(f.is_integer(), "integer_game_view requires integer rewards");
+    view.reward.push_back(f.numerator());
+  }
+  return view;
+}
+
+Configuration materialize_configuration(const std::shared_ptr<const System>& system,
+                                        const std::vector<std::uint32_t>& digits) {
+  std::vector<CoinId> assignment;
+  assignment.reserve(digits.size());
+  for (const std::uint32_t d : digits) assignment.emplace_back(d);
+  return Configuration(system, std::move(assignment));
+}
+
+std::size_t enumeration_lanes(const EnumerationOptions& opts,
+                              std::optional<std::uint64_t> canonical) {
+  if (canonical.has_value() && *canonical < opts.serial_cutoff) return 1;
+  // An explicitly provided pool is the caller's deliberate lane choice.
+  if (opts.pool != nullptr) return opts.pool->num_threads() + 1;
+  // Otherwise cap at hardware: a CPU-bound walk never benefits from more
+  // lanes than cores — oversubscription only adds scheduler noise.
+  // (Results are identical at any lane count; purely a scheduling call.)
+  const std::size_t lanes = engine::ThreadPool::resolve_lanes(opts.threads);
+  const std::size_t hw = engine::ThreadPool::default_threads();
+  return lanes < hw ? lanes : hw;
+}
+
+std::size_t shard_target(const EnumerationOptions& opts, std::size_t lanes,
+                         std::optional<std::uint64_t> canonical) {
+  if (lanes == 1) return 1;
+  std::size_t target = lanes * opts.shards_per_lane;
+  if (canonical.has_value() && opts.min_shard_configs > 0) {
+    const std::uint64_t fit = *canonical / opts.min_shard_configs;
+    if (fit < target) {
+      target = static_cast<std::size_t>(fit < lanes ? lanes : fit);
+    }
+  }
+  return target;
+}
+
+// ---------------------------------------------------------------- access
+
+AccessTracker::AccessTracker(const Game& game)
+    : game_(&game), unrestricted_(game.access().is_unrestricted()) {}
+
+bool AccessTracker::respects(const Configuration& s) {
+  if (unrestricted_) return true;
+  if (tracked_ == &s && epoch_ == s.move_epoch()) return violations_ == 0;
+  if (tracked_ == &s && epoch_ + 1 == s.move_epoch()) {
+    const MoveDelta& delta = s.last_delta();
+    if (!game_->can_mine(delta.miner, delta.to)) ++violations_;
+    if (!game_->can_mine(delta.miner, delta.from)) --violations_;
+  } else {
+    violations_ = 0;
+    for (std::uint32_t p = 0; p < s.num_miners(); ++p) {
+      if (!game_->can_mine(MinerId(p), s.of(MinerId(p)))) ++violations_;
+    }
+    tracked_ = &s;
+  }
+  epoch_ = s.move_epoch();
+  return violations_ == 0;
 }
 
 }  // namespace goc

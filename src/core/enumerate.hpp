@@ -1,29 +1,452 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
 #include "core/configuration.hpp"
+#include "core/game.hpp"
 #include "core/system.hpp"
+#include "engine/thread_pool.hpp"
+#include "util/int128.hpp"
 
 /// \file enumerate.hpp
-/// Exhaustive iteration over the configuration space S = C^n (odometer
-/// order). Exponential — callers must bound the space; used by equilibrium
-/// enumeration, Assumption 1 checking, and exact-potential verification on
-/// small games.
+/// The exhaustive-enumeration engine: high-throughput iteration over the
+/// configuration space S = C^n for equilibrium enumeration, Assumption 1
+/// checking, and exact-potential verification.
+///
+/// Four stacked mechanisms (mirroring the learning hot loop of PR 2):
+///
+///  * **De-virtualized incremental walk** — `walk_canonical_shard` is a
+///    template over its visitor (no `std::function` dispatch) and advances
+///    an odometer one `Configuration::move` at a time, so per-coin masses
+///    update in O(1) per visited configuration.
+///  * **Symmetry reduction** — miners with identical power and identical
+///    access rights are interchangeable: permuting them is a game
+///    automorphism, so equilibrium-ness, never-alone violations, and
+///    4-cycle obstructions are orbit-invariant. The walker enumerates only
+///    *canonical representatives* (coin ids non-decreasing in miner-id
+///    order within each class), shrinking |C|^n toward the multiset count;
+///    `expand_orbit` recovers the full orbit on demand.
+///  * **Deterministic sharding** — the odometer splits by top-digit prefix
+///    into independent shards fanned across `engine::ThreadPool`. Shards
+///    are indexed in global odometer order and sized exactly
+///    (`ShardPlan::sizes` / `start_ranks`), so per-shard results
+///    concatenate into a result that is bit-identical at any thread count.
+///  * **i128 predicates** — consumers check equilibrium/stability inside
+///    the walk with `MoveComparator` (core/move_compare.hpp) instead of
+///    exact `Rational` payoff scans.
+///
+/// The legacy `for_each_configuration` callback walker is kept verbatim as
+/// the validation reference (`--compare-scan` paths and golden tests).
 
 namespace goc {
 
 /// Number of configurations |C|^n, or nullopt if it exceeds 2^63−1.
 std::optional<std::uint64_t> configuration_count(const System& system);
 
-/// Invokes `visit` on every configuration in odometer order (miner 0 is the
-/// fastest-changing digit). Stops early when `visit` returns false.
-/// Throws std::invalid_argument when |C|^n > max_configs.
+/// Reference walker: invokes `visit` on every configuration in odometer
+/// order (miner 0 is the fastest-changing digit). Stops early when `visit`
+/// returns false. Throws std::invalid_argument when |C|^n > max_configs.
 void for_each_configuration(const std::shared_ptr<const System>& system,
                             std::uint64_t max_configs,
                             const std::function<bool(const Configuration&)>& visit);
+
+// ------------------------------------------------------------ symmetry
+
+/// The partition of miners into interchangeability classes: p ~ q iff they
+/// have equal power and identical access rows. Permuting classmates is a
+/// game automorphism (it preserves every per-coin mass and every miner's
+/// action set), so all engine predicates are constant on orbits.
+struct SymmetryClasses {
+  /// miner -> index of its class in `classes`.
+  std::vector<std::uint32_t> class_of;
+  /// Members of each class, in miner-id order.
+  std::vector<std::vector<MinerId>> classes;
+  /// miner -> the next classmate with a larger id, or -1 when it is the
+  /// largest of its class. The canonical-form constraint is
+  /// digit[p] <= digit[next_classmate[p]].
+  std::vector<std::int32_t> next_classmate;
+  /// True when every class is a singleton (no reduction available); the
+  /// canonical walk then visits the full space in exact legacy order.
+  bool trivial = true;
+};
+
+/// Groups the game's miners by (power, access row).
+SymmetryClasses symmetry_classes(const Game& game);
+
+/// The no-symmetry partition: n singleton classes (used when
+/// `EnumerationOptions::symmetry` is off).
+SymmetryClasses singleton_classes(std::size_t num_miners);
+
+struct EnumerationOptions;
+
+/// The partition `opts` selects: symmetry classes, or singletons when
+/// symmetry is off. Every engine consumer resolves its classes through
+/// this so walk and post-processing (orbit expansion) always agree.
+SymmetryClasses classes_for(const Game& game, const EnumerationOptions& opts);
+
+/// Number of canonical representatives: Π over classes of the multiset
+/// count C(|K| + |C| − 1, |K|). nullopt on 64-bit overflow.
+std::optional<std::uint64_t> canonical_count(const System& system,
+                                             const SymmetryClasses& classes);
+
+/// Orbit size of `assignment` under the class permutations: Π over classes
+/// of the multinomial |K|! / Π_c (members of K on c)!. Throws OverflowError
+/// if the product exceeds 2^64−1.
+std::uint64_t orbit_size(const std::vector<CoinId>& assignment,
+                         const SymmetryClasses& classes);
+
+/// All configurations in the orbit of `canonical` (including itself), in
+/// unspecified order. The orbit of a canonical equilibrium is exactly its
+/// equivalence class in the full space.
+std::vector<Configuration> expand_orbit(const Configuration& canonical,
+                                        const SymmetryClasses& classes);
+
+/// Odometer rank of an assignment: Σ_i digit(i)·|C|^i. Total order of the
+/// legacy walk; used to merge expanded orbits back into legacy output
+/// order. Caller must have bounded |C|^n to 2^63−1 (configuration_count).
+std::uint64_t odometer_rank(const std::vector<CoinId>& assignment,
+                            std::size_t num_coins);
+
+/// Canonical cap of miner `pos`'s digit: its next classmate's current
+/// digit (the non-decreasing-within-class constraint), else the largest
+/// coin. The one definition of the canonical form, shared by both walkers
+/// and the shard planner.
+inline std::uint32_t canonical_cap(const SymmetryClasses& classes,
+                                   const std::vector<std::uint32_t>& digits,
+                                   std::size_t pos, std::uint32_t coins) {
+  const std::int32_t nc = classes.next_classmate[pos];
+  return nc < 0 ? coins - 1 : digits[static_cast<std::size_t>(nc)];
+}
+
+// ------------------------------------------------------------ sharding
+
+struct EnumerationOptions {
+  /// Total concurrent lanes; 0 = one per hardware thread, 1 = serial (the
+  /// deterministic-by-construction reference schedule). Ignored when
+  /// `pool` is set.
+  std::size_t threads = 1;
+  /// Enumerate canonical representatives only. Off = full space (the
+  /// walker then visits configurations in exact legacy odometer order).
+  bool symmetry = true;
+  /// Bound on the FULL |C|^n space (legacy semantics — consumers throw
+  /// std::invalid_argument above it even when the canonical space is
+  /// smaller).
+  std::uint64_t max_configs = 1u << 22;
+  /// Shard granularity: aim for this many shards per lane so uneven
+  /// per-shard cost still load-balances across the pool.
+  std::size_t shards_per_lane = 8;
+  /// …but never shards smaller than this many configurations (dispatch
+  /// overhead would exceed the walk): the shard count is capped at
+  /// canonical/min_shard_configs (floored at one shard per lane).
+  std::uint64_t min_shard_configs = 1024;
+  /// Canonical spaces smaller than this run serially in one shard —
+  /// fan-out overhead would swamp the walk (results are identical either
+  /// way; this is purely a scheduling decision). Consumers with heavy
+  /// per-configuration work compare a *weighted* count against this
+  /// cutoff instead of lowering it (the 4-cycle scanners multiply the
+  /// base count by cycles-per-base; see `weighted_bases` in
+  /// exact_potential.cpp).
+  std::uint64_t serial_cutoff = 4096;
+  /// Reuse an existing pool instead of spawning one per call (spawning
+  /// costs more than walking a small game). Non-owning; lanes =
+  /// pool->num_threads() + 1. nullptr = spawn from `threads`.
+  engine::ThreadPool* pool = nullptr;
+};
+
+/// A deterministic split of the canonical space by top-digit prefix.
+/// Shard i enumerates exactly the canonical configurations with ranks
+/// [start_ranks[i], start_ranks[i] + sizes[i]) in canonical odometer
+/// order, so concatenating per-shard results in index order reproduces the
+/// serial walk bit-for-bit.
+struct ShardPlan {
+  /// Miners [0, free_miners) iterate inside a shard; miners
+  /// [free_miners, n) are pinned to the shard's prefix digits.
+  std::size_t free_miners = 0;
+  /// prefixes[i][j] = coin digit of miner free_miners + j, listed in
+  /// global odometer order of the prefix digits.
+  std::vector<std::vector<std::uint32_t>> prefixes;
+  /// Canonical configurations per shard.
+  std::vector<std::uint64_t> sizes;
+  /// Exclusive prefix sums of `sizes` (global canonical start rank).
+  std::vector<std::uint64_t> start_ranks;
+};
+
+/// Splits the canonical space into at least `target_shards` shards when
+/// possible (never more than `target_shards`·|C|; a single shard when
+/// target_shards <= 1).
+ShardPlan plan_shards(const System& system, const SymmetryClasses& classes,
+                      std::size_t target_shards);
+
+// ------------------------------------------------------------ the walk
+
+/// Visits every canonical configuration of one shard in canonical odometer
+/// order, advancing via `Configuration::move` (one miner hop per step).
+/// `visit(const Configuration&)` returns false to abort the shard; the
+/// function returns false iff aborted. `prefix` pins the digits of miners
+/// [free_miners, n) — pass free_miners == n (empty prefix) for the whole
+/// space.
+template <typename Visit>
+bool walk_canonical_shard(const std::shared_ptr<const System>& system,
+                          const SymmetryClasses& classes,
+                          std::size_t free_miners,
+                          const std::vector<std::uint32_t>& prefix,
+                          Visit&& visit) {
+  const std::size_t n = system->num_miners();
+  const std::uint32_t coins = static_cast<std::uint32_t>(system->num_coins());
+  std::vector<std::uint32_t> digits(n, 0);
+  for (std::size_t j = free_miners; j < n; ++j) digits[j] = prefix[j - free_miners];
+  std::vector<CoinId> assignment;
+  assignment.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) assignment.emplace_back(digits[i]);
+  Configuration config(system, std::move(assignment));
+  for (;;) {
+    if (!visit(static_cast<const Configuration&>(config))) return false;
+    std::size_t pos = 0;
+    while (pos < free_miners) {
+      if (digits[pos] < canonical_cap(classes, digits, pos, coins)) {
+        ++digits[pos];
+        config.move(MinerId(static_cast<std::uint32_t>(pos)), CoinId(digits[pos]));
+        break;
+      }
+      if (digits[pos] != 0) {
+        digits[pos] = 0;
+        config.move(MinerId(static_cast<std::uint32_t>(pos)), CoinId(0));
+      }
+      ++pos;
+    }
+    if (pos == free_miners) return true;  // shard odometer wrapped
+  }
+}
+
+/// Effective lane count for `opts` over a canonical space of `canonical`
+/// configurations: the pool's lanes (or `opts.threads`), clamped to 1
+/// below the serial cutoff.
+std::size_t enumeration_lanes(const EnumerationOptions& opts,
+                              std::optional<std::uint64_t> canonical);
+
+/// Shard target for a lane count over a canonical space (1 lane = 1
+/// shard; otherwise shards_per_lane per lane, capped so shards hold at
+/// least `min_shard_configs` configurations each).
+std::size_t shard_target(const EnumerationOptions& opts, std::size_t lanes,
+                         std::optional<std::uint64_t> canonical);
+
+/// Fans a precomputed `ShardPlan` across the pool (the caller's
+/// `opts.pool`, or a freshly spawned one). One state per shard
+/// (`make_state(shard_index)`), created on the calling thread in shard
+/// order; `visit(state, config, shard_index)` runs inside the walk
+/// (return false to abort that shard). The returned states are in shard
+/// (= global odometer) order regardless of thread count.
+namespace enumeration_detail {
+
+/// Shared fan-out: one per-shard state (created on the calling thread in
+/// shard order), `walk_shard(state, shard_index)` dispatched across the
+/// caller's pool (or a freshly spawned one). Both walkers' drivers funnel
+/// through here so the scheduling policy exists exactly once.
+template <typename MakeState, typename WalkShard>
+auto run_shards(const ShardPlan& plan, const EnumerationOptions& opts,
+                std::size_t lanes, MakeState&& make_state, WalkShard&& walk_shard)
+    -> std::vector<std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>> {
+  using State = std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>;
+  std::vector<State> states;
+  states.reserve(plan.prefixes.size());
+  for (std::size_t i = 0; i < plan.prefixes.size(); ++i) {
+    states.push_back(make_state(i));
+  }
+  const auto run = [&](engine::ThreadPool& pool) {
+    pool.parallel_for(plan.prefixes.size(),
+                      [&](std::size_t i) { walk_shard(states[i], i); });
+  };
+  if (opts.pool != nullptr && lanes > 1) {
+    run(*opts.pool);
+  } else {
+    engine::ThreadPool local(engine::ThreadPool::workers_for(lanes));
+    run(local);
+  }
+  return states;
+}
+
+}  // namespace enumeration_detail
+
+template <typename MakeState, typename Visit>
+auto enumerate_planned(const std::shared_ptr<const System>& system,
+                       const SymmetryClasses& classes, const ShardPlan& plan,
+                       const EnumerationOptions& opts, std::size_t lanes,
+                       MakeState&& make_state, Visit&& visit)
+    -> std::vector<std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>> {
+  return enumeration_detail::run_shards(
+      plan, opts, lanes, std::forward<MakeState>(make_state),
+      [&](auto& state, std::size_t i) {
+        walk_canonical_shard(system, classes, plan.free_miners, plan.prefixes[i],
+                             [&](const Configuration& s) {
+                               return visit(state, s, i);
+                             });
+      });
+}
+
+/// Convenience driver: plans shards from `opts` and runs
+/// `enumerate_planned`. Consumers that need shard ranks (deterministic
+/// visit budgets) call `plan_shards` themselves.
+template <typename MakeState, typename Visit>
+auto enumerate_states(const std::shared_ptr<const System>& system,
+                      const SymmetryClasses& classes,
+                      const EnumerationOptions& opts, MakeState&& make_state,
+                      Visit&& visit)
+    -> std::vector<std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>> {
+  const auto canonical = canonical_count(*system, classes);
+  const std::size_t lanes = enumeration_lanes(opts, canonical);
+  const ShardPlan plan =
+      plan_shards(*system, classes, shard_target(opts, lanes, canonical));
+  return enumerate_planned(system, classes, plan, opts, lanes,
+                           std::forward<MakeState>(make_state),
+                           std::forward<Visit>(visit));
+}
+
+// ------------------------------------------------------------ integer walk
+
+/// Precomputed raw numerators for the integer fast path (valid only when
+/// every power and reward is an integer — `MoveComparator::integer_mode` —
+/// where numerators ARE the values).
+struct IntegerGameView {
+  std::vector<i128> power;   ///< miner -> m_p
+  std::vector<i128> reward;  ///< coin -> F(c)
+};
+
+IntegerGameView integer_game_view(const Game& game);
+
+/// The integer walker's state: the plain odometer plus incrementally
+/// maintained raw masses and populations — what `Configuration` tracks,
+/// without a `Rational` (or a heap object) anywhere near the hot loop.
+struct IntegerWalkState {
+  std::vector<std::uint32_t> digits;      ///< miner -> coin
+  std::vector<i128> mass;                 ///< coin -> M_c
+  std::vector<std::uint32_t> population;  ///< coin -> |P_c|
+};
+
+/// `walk_canonical_shard` on raw integers: same canonical odometer, same
+/// order, ~4 i128 adds per step. `visit(const IntegerWalkState&)` returns
+/// false to abort. Consumers materialize a `Configuration` only on hits
+/// (`materialize_configuration`).
+template <typename Visit>
+bool walk_canonical_shard_integer(const IntegerGameView& view,
+                                  const SymmetryClasses& classes,
+                                  std::size_t num_coins, std::size_t free_miners,
+                                  const std::vector<std::uint32_t>& prefix,
+                                  Visit&& visit) {
+  const std::size_t n = view.power.size();
+  const std::uint32_t coins = static_cast<std::uint32_t>(num_coins);
+  IntegerWalkState st;
+  st.digits.assign(n, 0);
+  for (std::size_t j = free_miners; j < n; ++j) st.digits[j] = prefix[j - free_miners];
+  st.mass.assign(coins, 0);
+  st.population.assign(coins, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.mass[st.digits[i]] += view.power[i];
+    ++st.population[st.digits[i]];
+  }
+  for (;;) {
+    if (!visit(static_cast<const IntegerWalkState&>(st))) return false;
+    std::size_t pos = 0;
+    while (pos < free_miners) {
+      const std::uint32_t from = st.digits[pos];
+      if (from < canonical_cap(classes, st.digits, pos, coins)) {
+        st.mass[from] -= view.power[pos];
+        --st.population[from];
+        st.digits[pos] = from + 1;
+        st.mass[from + 1] += view.power[pos];
+        ++st.population[from + 1];
+        break;
+      }
+      if (from != 0) {
+        st.mass[from] -= view.power[pos];
+        --st.population[from];
+        st.digits[pos] = 0;
+        st.mass[0] += view.power[pos];
+        ++st.population[0];
+      }
+      ++pos;
+    }
+    if (pos == free_miners) return true;  // shard odometer wrapped
+  }
+}
+
+/// `enumerate_planned` over the integer walker.
+template <typename MakeState, typename Visit>
+auto enumerate_planned_integer(const IntegerGameView& view,
+                               const SymmetryClasses& classes,
+                               std::size_t num_coins, const ShardPlan& plan,
+                               const EnumerationOptions& opts, std::size_t lanes,
+                               MakeState&& make_state, Visit&& visit)
+    -> std::vector<std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>> {
+  return enumeration_detail::run_shards(
+      plan, opts, lanes, std::forward<MakeState>(make_state),
+      [&](auto& state, std::size_t i) {
+        walk_canonical_shard_integer(view, classes, num_coins, plan.free_miners,
+                                     plan.prefixes[i],
+                                     [&](const IntegerWalkState& st) {
+                                       return visit(state, st, i);
+                                     });
+      });
+}
+
+/// `enumerate_states` over the integer walker: resolves lanes and plans
+/// shards from `opts`, then fans out `walk_canonical_shard_integer`.
+template <typename MakeState, typename Visit>
+auto enumerate_states_integer(const Game& game, const IntegerGameView& view,
+                              const SymmetryClasses& classes,
+                              const EnumerationOptions& opts,
+                              MakeState&& make_state, Visit&& visit)
+    -> std::vector<std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>> {
+  const auto canonical = canonical_count(game.system(), classes);
+  const std::size_t lanes = enumeration_lanes(opts, canonical);
+  const ShardPlan plan =
+      plan_shards(game.system(), classes, shard_target(opts, lanes, canonical));
+  return enumerate_planned_integer(view, classes, game.num_coins(), plan, opts,
+                                   lanes, std::forward<MakeState>(make_state),
+                                   std::forward<Visit>(visit));
+}
+
+/// A `Configuration` with the walker's current assignment (hit path only).
+Configuration materialize_configuration(const std::shared_ptr<const System>& system,
+                                        const std::vector<std::uint32_t>& digits);
+
+/// Lock-free fetch-min: records `value` in `slot` iff smaller. The
+/// cross-shard witness-priority primitive — a shard that finds a witness
+/// stamps its index, and shards above the current minimum abort while
+/// shards below always finish, making the reported witness the first in
+/// canonical order at any thread count.
+inline void atomic_store_min(std::atomic<std::size_t>& slot, std::size_t value) {
+  std::size_t expected = slot.load(std::memory_order_relaxed);
+  while (value < expected && !slot.compare_exchange_weak(expected, value)) {
+  }
+}
+
+// ------------------------------------------------------------ access
+
+/// Incremental `Game::respects_access` for enumeration walks: tracks the
+/// number of miners sitting on coins they may not mine through the
+/// move-epoch hook, so each odometer step costs O(1) instead of the O(n)
+/// from-scratch scan. Falls back to a full recount on epoch jumps or a
+/// change of tracked configuration object.
+class AccessTracker {
+ public:
+  explicit AccessTracker(const Game& game);
+
+  /// True iff every miner in `s` sits on an allowed coin.
+  bool respects(const Configuration& s);
+
+ private:
+  const Game* game_;
+  const Configuration* tracked_ = nullptr;
+  std::uint64_t epoch_ = 0;
+  std::size_t violations_ = 0;
+  bool unrestricted_;
+};
 
 }  // namespace goc

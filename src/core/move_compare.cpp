@@ -1,27 +1,18 @@
 #include "core/move_compare.hpp"
 
+#include "core/moves.hpp"
 #include "util/rational.hpp"
 
 namespace goc {
 
-namespace {
-
-/// Compares the positive fractions a_num/a_den and b_num/b_den exactly.
-/// Two multiplies on the fast path; reduces through `Rational` (which never
-/// overflows a comparison) when a cross product exceeds 128 bits.
-std::strong_ordering compare_fractions(i128 a_num, i128 a_den, i128 b_num,
-                                       i128 b_den) {
-  i128 lhs, rhs;
-  if (!mul_overflow(a_num, b_den, &lhs) && !mul_overflow(b_num, a_den, &rhs)) {
-    return lhs <=> rhs;
-  }
+std::strong_ordering compare_fractions_exact(i128 a_num, i128 a_den, i128 b_num,
+                                             i128 b_den) {
   return Rational::from_parts(a_num, a_den) <=>
          Rational::from_parts(b_num, b_den);
 }
 
-}  // namespace
-
-MoveComparator::MoveComparator(const Game& game) : game_(&game) {
+MoveComparator::MoveComparator(const Game& game)
+    : game_(&game), unrestricted_(game.access().is_unrestricted()) {
   integer_mode_ = true;
   for (const Rational& m : game.system().powers()) {
     if (!m.is_integer()) integer_mode_ = false;
@@ -46,13 +37,43 @@ std::strong_ordering MoveComparator::compare(const Configuration& s, MinerId p,
     const i128 n2 = game_->rewards()(c2).numerator();
     const i128 d1 = s.mass(c1).numerator() + (c1 == here ? 0 : mp);
     const i128 d2 = s.mass(c2).numerator() + (c2 == here ? 0 : mp);
-    return compare_fractions(n1, d1, n2, d2);
+    return compare_positive_fractions(n1, d1, n2, d2);
   }
   const Rational v1 = c1 == here ? game_->payoff(s, p)
                                  : game_->payoff_if_move(s, p, c1);
   const Rational v2 = c2 == here ? game_->payoff(s, p)
                                  : game_->payoff_if_move(s, p, c2);
   return v1 <=> v2;
+}
+
+bool MoveComparator::stable(const Configuration& s, MinerId p) const {
+  const CoinId here = s.of(p);
+  const std::uint32_t coins = static_cast<std::uint32_t>(s.num_coins());
+  if (integer_mode_) {
+    // Hoist the loop-invariant "stay put" side: F(here)/M_here, with
+    // M_here already including m_p.
+    const i128 mp = game_->system().power(p).numerator();
+    const i128 n_here = game_->rewards()(here).numerator();
+    const i128 d_here = s.mass(here).numerator();
+    for (std::uint32_t c = 0; c < coins; ++c) {
+      const CoinId coin(c);
+      if (coin == here) continue;
+      if (!unrestricted_ && !game_->can_mine(p, coin)) continue;
+      const i128 n_c = game_->rewards()(coin).numerator();
+      const i128 d_c = s.mass(coin).numerator() + mp;
+      if (compare_positive_fractions(n_c, d_c, n_here, d_here) > 0) return false;
+    }
+    return true;
+  }
+  return is_stable(*game_, s, p);
+}
+
+bool MoveComparator::equilibrium(const Configuration& s) const {
+  const std::uint32_t n = static_cast<std::uint32_t>(s.num_miners());
+  for (std::uint32_t p = 0; p < n; ++p) {
+    if (!stable(s, MinerId(p))) return false;
+  }
+  return true;
 }
 
 }  // namespace goc

@@ -5,6 +5,7 @@
 #include "core/configuration.hpp"
 #include "core/game.hpp"
 #include "util/int128.hpp"
+#include "util/rational.hpp"
 
 /// \file move_compare.hpp
 /// The index-backed fast path for better-response comparisons.
@@ -22,6 +23,26 @@
 /// the reference scan makes.
 
 namespace goc {
+
+/// Slow path of `compare_positive_fractions`: exact comparison through
+/// `Rational` (whose <=> never overflows).
+std::strong_ordering compare_fractions_exact(i128 a_num, i128 a_den, i128 b_num,
+                                             i128 b_den);
+
+/// Exact comparison of a_num/a_den vs b_num/b_den for nonnegative
+/// numerators and positive denominators: two raw i128 multiplies on the
+/// fast path (inline — this sits in every engine inner loop), exact
+/// `Rational` fallback when a cross product overflows. The shared
+/// primitive of the comparator and the enumeration engine's integer-mode
+/// checks.
+inline std::strong_ordering compare_positive_fractions(i128 a_num, i128 a_den,
+                                                       i128 b_num, i128 b_den) {
+  i128 lhs, rhs;
+  if (!mul_overflow(a_num, b_den, &lhs) && !mul_overflow(b_num, a_den, &rhs)) {
+    return lhs <=> rhs;
+  }
+  return compare_fractions_exact(a_num, a_den, b_num, b_den);
+}
 
 /// Exact post-move payoff comparisons for a fixed game, with an integer
 /// `i128` fast path. Holds a reference to the game; the configuration is
@@ -49,9 +70,20 @@ class MoveComparator {
     return compare(s, p, c, s.of(p)) > 0;
   }
 
+  /// True iff p has no better response in s — `is_stable` without a single
+  /// `Rational` temporary in integer mode. Access-aware (skips coins p may
+  /// not mine) and exits on the first improving coin.
+  bool stable(const Configuration& s, MinerId p) const;
+
+  /// True iff every miner is stable — `is_equilibrium` on the i128 path,
+  /// exiting at the first improving miner. The enumeration engine's inner
+  /// check.
+  bool equilibrium(const Configuration& s) const;
+
  private:
   const Game* game_;
   bool integer_mode_;
+  bool unrestricted_;
 };
 
 }  // namespace goc

@@ -1,10 +1,12 @@
 #include "equilibrium/assumptions.hpp"
 
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 #include <vector>
 
 #include "core/enumerate.hpp"
+#include "core/move_compare.hpp"
 #include "core/moves.hpp"
 #include "util/assert.hpp"
 
@@ -40,7 +42,118 @@ std::optional<CoinId> never_alone_violation_at(const Game& game,
   return std::nullopt;
 }
 
+namespace {
+
+/// `never_alone_violation_at` on the i128 comparator path: no `Rational`
+/// temporaries, first-improving early exit per candidate coin.
+std::optional<CoinId> never_alone_violation_fast(const Game& game,
+                                                 const MoveComparator& cmp,
+                                                 const Configuration& s) {
+  const std::uint32_t coins = static_cast<std::uint32_t>(game.num_coins());
+  const std::uint32_t n = static_cast<std::uint32_t>(game.num_miners());
+  for (std::uint32_t c = 0; c < coins; ++c) {
+    const CoinId coin(c);
+    if (s.population(coin) > 1) continue;
+    bool someone_wants_in = false;
+    for (std::uint32_t p = 0; p < n && !someone_wants_in; ++p) {
+      const MinerId miner(p);
+      if (s.of(miner) == coin) continue;
+      if (!game.can_mine(miner, coin)) continue;
+      if (cmp.improves(s, miner, coin)) someone_wants_in = true;
+    }
+    if (!someone_wants_in) return coin;
+  }
+  return std::nullopt;
+}
+
+/// `never_alone_violation_at` on the raw integer walk state.
+std::optional<CoinId> integer_never_alone_violation(const IntegerGameView& view,
+                                                    const IntegerWalkState& st) {
+  const std::size_t n = view.power.size();
+  const std::uint32_t coins = static_cast<std::uint32_t>(view.reward.size());
+  for (std::uint32_t c = 0; c < coins; ++c) {
+    if (st.population[c] > 1) continue;
+    bool someone_wants_in = false;
+    for (std::size_t p = 0; p < n && !someone_wants_in; ++p) {
+      const std::uint32_t here = st.digits[p];
+      if (here == c) continue;
+      if (compare_positive_fractions(view.reward[c], st.mass[c] + view.power[p],
+                                     view.reward[here], st.mass[here]) > 0) {
+        someone_wants_in = true;
+      }
+    }
+    if (!someone_wants_in) return CoinId(c);
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
 std::optional<NeverAloneViolation> find_never_alone_violation(
+    const Game& game, const EnumerationOptions& opts) {
+  const auto count = configuration_count(game.system());
+  GOC_CHECK_ARG(count.has_value() && *count <= opts.max_configs,
+                "configuration space too large to enumerate");
+  const SymmetryClasses classes = classes_for(game, opts);
+  const MoveComparator cmp(game);
+
+  // Cross-shard early exit: once shard i holds a witness, shards above i
+  // abort; shards below i always finish, so the reported witness is the
+  // first violating canonical configuration regardless of thread count.
+  std::atomic<std::size_t> found_shard{SIZE_MAX};
+  const auto record = [&](std::optional<NeverAloneViolation>& witness,
+                          NeverAloneViolation violation, std::size_t shard) {
+    witness = std::move(violation);
+    atomic_store_min(found_shard, shard);
+  };
+
+  std::vector<std::optional<NeverAloneViolation>> states;
+  if (cmp.integer_mode() && game.access().is_unrestricted()) {
+    const IntegerGameView view = integer_game_view(game);
+    states = enumerate_states_integer(
+        game, view, classes, opts,
+        [](std::size_t) { return std::optional<NeverAloneViolation>(); },
+        [&](std::optional<NeverAloneViolation>& witness, const IntegerWalkState& st,
+            std::size_t shard) {
+          if (found_shard.load(std::memory_order_relaxed) < shard) return false;
+          if (const auto coin = integer_never_alone_violation(view, st)) {
+            record(witness,
+                   NeverAloneViolation{
+                       materialize_configuration(game.system_ptr(), st.digits),
+                       *coin},
+                   shard);
+            return false;
+          }
+          return true;
+        });
+  } else {
+    states = enumerate_states(
+        game.system_ptr(), classes, opts,
+        [](std::size_t) { return std::optional<NeverAloneViolation>(); },
+        [&](std::optional<NeverAloneViolation>& witness, const Configuration& s,
+            std::size_t shard) {
+          if (found_shard.load(std::memory_order_relaxed) < shard) return false;
+          if (const auto coin = never_alone_violation_fast(game, cmp, s)) {
+            record(witness, NeverAloneViolation{s, *coin}, shard);
+            return false;
+          }
+          return true;
+        });
+  }
+  for (auto& witness : states) {
+    if (witness.has_value()) return witness;
+  }
+  return std::nullopt;
+}
+
+std::optional<NeverAloneViolation> find_never_alone_violation(
+    const Game& game, std::uint64_t max_configs) {
+  EnumerationOptions opts;
+  opts.max_configs = max_configs;
+  return find_never_alone_violation(game, opts);
+}
+
+std::optional<NeverAloneViolation> find_never_alone_violation_scan(
     const Game& game, std::uint64_t max_configs) {
   std::optional<NeverAloneViolation> violation;
   for_each_configuration(game.system_ptr(), max_configs,

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "core/configuration.hpp"
+#include "core/enumerate.hpp"
 #include "core/game.hpp"
 
 /// \file assumptions.hpp
@@ -36,10 +37,23 @@ struct NeverAloneViolation {
 std::optional<CoinId> never_alone_violation_at(const Game& game,
                                                const Configuration& s);
 
-/// Exhaustive Assumption 1 check over all |C|^n configurations (throws
-/// std::invalid_argument when the space exceeds `max_configs`). Returns a
-/// violation witness, or nullopt when the assumption holds.
+/// Exhaustive Assumption 1 check (throws std::invalid_argument when the
+/// full space exceeds `max_configs` / `opts.max_configs`). Runs on the
+/// symmetry-reduced parallel engine: violations are orbit-invariant, so
+/// canonical representatives suffice, and the returned witness is the
+/// first violating *canonical* configuration in canonical odometer order —
+/// deterministic at any thread count, though not necessarily the same
+/// configuration the legacy scan reports. Returns nullopt when the
+/// assumption holds (exactly iff the scan reference does).
 std::optional<NeverAloneViolation> find_never_alone_violation(
+    const Game& game, std::uint64_t max_configs = 1u << 22);
+std::optional<NeverAloneViolation> find_never_alone_violation(
+    const Game& game, const EnumerationOptions& opts);
+
+/// The legacy single-threaded full-space walker — the validation reference
+/// for `--compare-scan` runs and golden tests (first violation in full
+/// odometer order).
+std::optional<NeverAloneViolation> find_never_alone_violation_scan(
     const Game& game, std::uint64_t max_configs = 1u << 22);
 
 /// Counterexample to Assumption 2: F(c)·sum' == F(c')·sum for nonempty

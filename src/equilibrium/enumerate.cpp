@@ -1,16 +1,139 @@
 #include "equilibrium/enumerate.hpp"
 
-#include <unordered_set>
+#include <algorithm>
+#include <unordered_map>
 
-#include "core/enumerate.hpp"
 #include "core/generators.hpp"
+#include "core/move_compare.hpp"
 #include "core/moves.hpp"
+#include "dynamics/best_response_index.hpp"
 #include "util/assert.hpp"
 
 namespace goc {
 
+std::uint64_t CanonicalEquilibria::total() const {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t size : orbit_sizes) sum += size;
+  return sum;
+}
+
+namespace {
+
+/// `is_equilibrium` on the raw integer walk state: p improves by moving to
+/// c iff F(c)/(M_c + m_p) > F(s.p)/M_{s.p} — cross-multiplied, first
+/// improving miner exits.
+bool integer_equilibrium(const IntegerGameView& view, const IntegerWalkState& st) {
+  const std::size_t n = view.power.size();
+  const std::uint32_t coins = static_cast<std::uint32_t>(view.reward.size());
+  // Highest miner id first: generators emit powers sorted descending, and
+  // small miners improve most easily, so this exits earliest on average
+  // (the boolean is order-independent either way).
+  for (std::size_t p = n; p-- > 0;) {
+    const std::uint32_t here = st.digits[p];
+    const i128 mp = view.power[p];
+    const i128 n_here = view.reward[here];
+    const i128 d_here = st.mass[here];
+    for (std::uint32_t c = 0; c < coins; ++c) {
+      if (c == here) continue;
+      if (compare_positive_fractions(view.reward[c], st.mass[c] + mp, n_here,
+                                     d_here) > 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Shared core: both public entry points compute the class partition once
+/// and pass it here (the orbit expansion below must use the exact
+/// partition the walk used).
+CanonicalEquilibria enumerate_canonical_with(const Game& game,
+                                             const EnumerationOptions& opts,
+                                             const SymmetryClasses& classes) {
+  const auto count = configuration_count(game.system());
+  GOC_CHECK_ARG(count.has_value() && *count <= opts.max_configs,
+                "configuration space too large to enumerate");
+  const MoveComparator cmp(game);
+
+  std::vector<std::vector<Configuration>> found_per_shard;
+  if (cmp.integer_mode() && game.access().is_unrestricted()) {
+    // Integer fast path: raw-i128 odometer, materialize hits only.
+    const IntegerGameView view = integer_game_view(game);
+    found_per_shard = enumerate_states_integer(
+        game, view, classes, opts,
+        [](std::size_t) { return std::vector<Configuration>(); },
+        [&](std::vector<Configuration>& found, const IntegerWalkState& st,
+            std::size_t) {
+          if (integer_equilibrium(view, st)) {
+            found.push_back(materialize_configuration(game.system_ptr(), st.digits));
+          }
+          return true;
+        });
+  } else {
+    struct ShardState {
+      AccessTracker tracker;
+      std::vector<Configuration> found;
+    };
+    auto states = enumerate_states(
+        game.system_ptr(), classes, opts,
+        [&](std::size_t) { return ShardState{AccessTracker(game), {}}; },
+        [&](ShardState& st, const Configuration& s, std::size_t) {
+          if (st.tracker.respects(s) && cmp.equilibrium(s)) st.found.push_back(s);
+          return true;
+        });
+    found_per_shard.reserve(states.size());
+    for (auto& st : states) found_per_shard.push_back(std::move(st.found));
+  }
+
+  CanonicalEquilibria out;
+  for (auto& found : found_per_shard) {
+    for (auto& s : found) {
+      out.orbit_sizes.push_back(classes.trivial ? 1
+                                                : orbit_size(s.assignment(), classes));
+      out.representatives.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+CanonicalEquilibria enumerate_canonical_equilibria(const Game& game,
+                                                   const EnumerationOptions& opts) {
+  return enumerate_canonical_with(game, opts, classes_for(game, opts));
+}
+
+std::vector<Configuration> enumerate_equilibria(const Game& game,
+                                                const EnumerationOptions& opts) {
+  const SymmetryClasses classes = classes_for(game, opts);
+  CanonicalEquilibria canonical = enumerate_canonical_with(game, opts, classes);
+  if (classes.trivial) return std::move(canonical.representatives);
+
+  // Expand every orbit, then merge back into full-space odometer order —
+  // the exact output of the legacy walker.
+  std::vector<Configuration> expanded;
+  for (const auto& rep : canonical.representatives) {
+    auto orbit = expand_orbit(rep, classes);
+    expanded.insert(expanded.end(), std::make_move_iterator(orbit.begin()),
+                    std::make_move_iterator(orbit.end()));
+  }
+  std::sort(expanded.begin(), expanded.end(),
+            [coins = game.num_coins()](const Configuration& a, const Configuration& b) {
+              return odometer_rank(a.assignment(), coins) <
+                     odometer_rank(b.assignment(), coins);
+            });
+  return expanded;
+}
+
 std::vector<Configuration> enumerate_equilibria(const Game& game,
                                                 std::uint64_t max_configs) {
+  EnumerationOptions opts;
+  opts.max_configs = max_configs;
+  return enumerate_equilibria(game, opts);
+}
+
+std::vector<Configuration> enumerate_equilibria_scan(const Game& game,
+                                                     std::uint64_t max_configs) {
   std::vector<Configuration> out;
   for_each_configuration(game.system_ptr(), max_configs,
                          [&](const Configuration& s) {
@@ -26,33 +149,36 @@ std::vector<Configuration> sample_equilibria(const Game& game, Rng& rng,
                                              std::size_t attempts,
                                              std::uint64_t max_steps_per_attempt) {
   std::vector<Configuration> out;
-  // Hashes screen candidates; exact comparison confirms (collision-safe).
-  std::unordered_multiset<std::size_t> seen_hashes;
+  // Hash-bucket index: candidates sharing a hash are compared exactly
+  // against their bucket only (collision-safe without a full rescan).
+  std::unordered_map<std::size_t, std::vector<std::size_t>> buckets;
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-    // Random start, then random-unstable-miner best responses. Theorem 1
-    // guarantees convergence of any such improving path.
+    // Random start, then random-unstable-miner best responses on the
+    // incremental index. Theorem 1 guarantees convergence of any such
+    // improving path; the index picks bit-identical moves to the scans.
     Configuration s = random_configuration(game, rng);
+    dynamics::BestResponseIndex index(game, s);
     for (std::uint64_t step = 0; step < max_steps_per_attempt; ++step) {
-      const std::vector<MinerId> unstable = unstable_miners(game, s);
+      const std::vector<MinerId>& unstable = index.unstable();
       if (unstable.empty()) break;
       const MinerId p = unstable[rng.pick_index(unstable)];
-      const auto target = best_response(game, s, p);
+      const auto target = index.best_of(p);
       GOC_ASSERT(target.has_value(), "unstable miner without a best response");
       s.move(p, *target);
+      index.sync(s);
     }
-    GOC_ASSERT(is_equilibrium(game, s),
+    GOC_ASSERT(index.at_equilibrium(),
                "better-response learning failed to converge within the step cap");
+    std::vector<std::size_t>& bucket = buckets[s.hash()];
     bool duplicate = false;
-    if (seen_hashes.count(s.hash()) != 0) {
-      for (const auto& existing : out) {
-        if (existing == s) {
-          duplicate = true;
-          break;
-        }
+    for (const std::size_t i : bucket) {
+      if (out[i] == s) {
+        duplicate = true;
+        break;
       }
     }
     if (!duplicate) {
-      seen_hashes.insert(s.hash());
+      bucket.push_back(out.size());
       out.push_back(std::move(s));
     }
   }

@@ -1,9 +1,12 @@
 #include "potential/exact_potential.hpp"
 
+#include <atomic>
+#include <optional>
 #include <sstream>
 
-#include "core/enumerate.hpp"
+#include "core/move_compare.hpp"
 #include "util/assert.hpp"
+#include "util/int128.hpp"
 
 namespace goc {
 
@@ -35,9 +38,11 @@ Rational four_cycle_sum(const Game& game, const Configuration& s, MinerId p,
 
 namespace {
 
+/// The legacy reference: full-space bases, three configuration copies per
+/// cycle (`four_cycle_sum`).
 template <typename OnCycle>
-void visit_four_cycles(const Game& game, std::uint64_t max_bases,
-                       const OnCycle& on_cycle) {
+void visit_four_cycles_scan(const Game& game, std::uint64_t max_bases,
+                            const OnCycle& on_cycle) {
   const std::uint32_t n = static_cast<std::uint32_t>(game.num_miners());
   const std::uint32_t coins = static_cast<std::uint32_t>(game.num_coins());
   if (n < 2 || coins < 2) return;
@@ -61,41 +66,241 @@ void visit_four_cycles(const Game& game, std::uint64_t max_bases,
       });
 }
 
+/// The engine's in-place cycle walker. Mirrors the shard's advancing base
+/// into a scratch configuration (one O(1) move per odometer step via the
+/// move-epoch hook) and walks each 4-cycle s1→s2→s3→s4 with four O(1)
+/// moves — no configuration copies, payoffs read straight off the
+/// incrementally-maintained masses (i128 numerators in integer games).
+class CycleScanner {
+ public:
+  explicit CycleScanner(const Game& game)
+      : game_(&game), integer_mode_(MoveComparator(game).integer_mode()) {}
+
+  /// Invokes `on(p, a', q, b', cycle_sum)` for every 4-cycle rooted at
+  /// `base`, in (p, q, a', b') order; `on` returns false to abort (the
+  /// scratch is restored to `base` first). Returns false iff aborted.
+  template <typename OnCycle>
+  bool scan(const Configuration& base, OnCycle&& on) {
+    sync(base);
+    Configuration& s = *scratch_;
+    const std::uint32_t n = static_cast<std::uint32_t>(s.num_miners());
+    const std::uint32_t coins = static_cast<std::uint32_t>(s.num_coins());
+    for (std::uint32_t pi = 0; pi < n; ++pi) {
+      for (std::uint32_t qi = pi + 1; qi < n; ++qi) {
+        const MinerId p(pi), q(qi);
+        const CoinId a = s.of(p);
+        const CoinId b = s.of(q);
+        const Rational up_s1 = payoff_at(s, p);
+        const Rational uq_s1 = payoff_at(s, q);
+        for (std::uint32_t ap = 0; ap < coins; ++ap) {
+          if (CoinId(ap) == a) continue;
+          s.move(p, CoinId(ap));  // s2 = (s1_{-p}, a')
+          const Rational up_s2 = payoff_at(s, p);
+          const Rational uq_s2 = payoff_at(s, q);
+          for (std::uint32_t bp = 0; bp < coins; ++bp) {
+            if (CoinId(bp) == b) continue;
+            s.move(q, CoinId(bp));  // s3 = (s2_{-q}, b')
+            const Rational uq_s3 = payoff_at(s, q);
+            const Rational up_s3 = payoff_at(s, p);
+            s.move(p, a);  // s4 = (s3_{-p}, a)
+            const Rational up_s4 = payoff_at(s, p);
+            const Rational uq_s4 = payoff_at(s, q);
+            const Rational sum = (up_s2 - up_s1) + (uq_s3 - uq_s2) +
+                                 (up_s4 - up_s3) + (uq_s1 - uq_s4);
+            if (!on(p, CoinId(ap), q, CoinId(bp), sum)) {
+              s.move(q, b);  // s4 with q back on b == base
+              return false;
+            }
+            s.move(p, CoinId(ap));  // back to s3
+            s.move(q, b);           // back to s2
+          }
+          s.move(p, a);  // back to base
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  void sync(const Configuration& base) {
+    if (scratch_.has_value() && tracked_ == &base) {
+      if (base.move_epoch() == seen_epoch_ + 1) {
+        scratch_->move(base.last_delta().miner, base.last_delta().to);
+      } else if (base.move_epoch() != seen_epoch_) {
+        scratch_ = base;
+      }
+    } else {
+      scratch_ = base;
+    }
+    tracked_ = &base;
+    seen_epoch_ = base.move_epoch();
+  }
+
+  /// u_p(s) = m_p·F(s.p)/M_{s.p}(s) — one multiply and one reduction in
+  /// integer mode instead of the generic rpu-then-scale path.
+  Rational payoff_at(const Configuration& s, MinerId p) const {
+    const CoinId c = s.of(p);
+    if (integer_mode_) {
+      return Rational::from_parts(
+          checked_mul(game_->system().power(p).numerator(),
+                      game_->rewards()(c).numerator()),
+          s.mass(c).numerator());
+    }
+    return game_->payoff(s, p);
+  }
+
+  const Game* game_;
+  bool integer_mode_;
+  std::optional<Configuration> scratch_;
+  const Configuration* tracked_ = nullptr;
+  std::uint64_t seen_epoch_ = 0;
+};
+
+/// Scheduling weight: cycles per base, so the serial cutoff compares like
+/// with like (a base costs ~n²|C|² cycle sums, not one equilibrium check).
+std::optional<std::uint64_t> weighted_bases(const Game& game,
+                                            std::optional<std::uint64_t> bases) {
+  if (!bases.has_value()) return std::nullopt;
+  const std::uint64_t n = game.num_miners();
+  const std::uint64_t c = game.num_coins() - 1;
+  const std::uint64_t per_base = n * (n - 1) / 2 * c * c;
+  if (per_base != 0 && *bases > UINT64_MAX / per_base) return std::nullopt;
+  return *bases * per_base;
+}
+
+/// The shared scheduling preamble of both cycle consumers: classes, lanes
+/// resolved against the *weighted* base count, and the shard plan.
+struct CyclePlan {
+  SymmetryClasses classes;
+  std::size_t lanes;
+  ShardPlan plan;
+};
+
+CyclePlan plan_cycles(const Game& game, const EnumerationOptions& opts) {
+  CyclePlan out;
+  out.classes = classes_for(game, opts);
+  const auto weighted =
+      weighted_bases(game, canonical_count(game.system(), out.classes));
+  out.lanes = enumeration_lanes(opts, weighted);
+  out.plan = plan_shards(game.system(), out.classes,
+                         shard_target(opts, out.lanes, weighted));
+  return out;
+}
+
 }  // namespace
+
+std::optional<FourCycleWitness> find_nonzero_four_cycle(
+    const Game& game, std::uint64_t max_bases, const EnumerationOptions& opts) {
+  if (game.num_miners() < 2 || game.num_coins() < 2) return std::nullopt;
+  GOC_CHECK_ARG(configuration_count(game.system()).has_value(),
+                "configuration space too large to enumerate");
+  const auto [classes, lanes, plan] = plan_cycles(game, opts);
+
+  struct ShardState {
+    CycleScanner scanner;
+    std::uint64_t budget;  // canonical bases this shard may still visit
+    std::optional<FourCycleWitness> witness;
+  };
+  std::atomic<std::size_t> found_shard{SIZE_MAX};
+  auto states = enumerate_planned(
+      game.system_ptr(), classes, plan, opts, lanes,
+      [&](std::size_t i) {
+        // The `max_bases` cap applies to the first canonical bases in
+        // global rank order — a deterministic per-shard budget.
+        const std::uint64_t start = plan.start_ranks[i];
+        return ShardState{CycleScanner(game),
+                          start >= max_bases ? 0 : max_bases - start,
+                          std::nullopt};
+      },
+      [&](ShardState& st, const Configuration& base, std::size_t shard) {
+        if (st.budget == 0) return false;
+        --st.budget;
+        if (found_shard.load(std::memory_order_relaxed) < shard) return false;
+        return st.scanner.scan(base, [&](MinerId p, CoinId ap, MinerId q,
+                                         CoinId bp, const Rational& sum) {
+          if (sum.is_zero()) return true;
+          const Configuration s2 = base.with_move(p, ap);
+          const Configuration s3 = s2.with_move(q, bp);
+          const Configuration s4 = s3.with_move(p, base.of(p));
+          st.witness = FourCycleWitness{base, s2, s3, s4, p, q, sum};
+          atomic_store_min(found_shard, shard);
+          return false;
+        });
+      });
+  for (auto& st : states) {
+    if (st.witness.has_value()) return std::move(st.witness);
+  }
+  return std::nullopt;
+}
 
 std::optional<FourCycleWitness> find_nonzero_four_cycle(const Game& game,
                                                         std::uint64_t max_bases) {
+  return find_nonzero_four_cycle(game, max_bases, EnumerationOptions{});
+}
+
+std::optional<FourCycleWitness> find_nonzero_four_cycle_scan(
+    const Game& game, std::uint64_t max_bases) {
   std::optional<FourCycleWitness> witness;
-  visit_four_cycles(game, max_bases,
-                    [&](const Configuration& base, MinerId p, CoinId ap,
-                        MinerId q, CoinId bp) {
-                      const Rational sum = four_cycle_sum(game, base, p, ap, q, bp);
-                      if (!sum.is_zero()) {
-                        const Configuration s2 = base.with_move(p, ap);
-                        const Configuration s3 = s2.with_move(q, bp);
-                        const Configuration s4 = s3.with_move(p, base.of(p));
-                        witness = FourCycleWitness{base, s2, s3, s4, p, q, sum};
-                        return false;
-                      }
-                      return true;
-                    });
+  visit_four_cycles_scan(game, max_bases,
+                         [&](const Configuration& base, MinerId p, CoinId ap,
+                             MinerId q, CoinId bp) {
+                           const Rational sum = four_cycle_sum(game, base, p, ap, q, bp);
+                           if (!sum.is_zero()) {
+                             const Configuration s2 = base.with_move(p, ap);
+                             const Configuration s3 = s2.with_move(q, bp);
+                             const Configuration s4 = s3.with_move(p, base.of(p));
+                             witness = FourCycleWitness{base, s2, s3, s4, p, q, sum};
+                             return false;
+                           }
+                           return true;
+                         });
   return witness;
 }
 
+bool has_exact_potential(const Game& game, const EnumerationOptions& opts) {
+  const auto count = configuration_count(game.system());
+  GOC_CHECK_ARG(count.has_value() && *count <= opts.max_configs,
+                "game too large for exhaustive exact-potential check");
+  if (game.num_miners() < 2 || game.num_coins() < 2) return true;
+  const auto [classes, lanes, plan] = plan_cycles(game, opts);
+  std::atomic<bool> nonzero{false};
+  enumerate_planned(
+      game.system_ptr(), classes, plan, opts, lanes,
+      [&](std::size_t) { return CycleScanner(game); },
+      [&](CycleScanner& scanner, const Configuration& base, std::size_t) {
+        if (nonzero.load(std::memory_order_relaxed)) return false;
+        return scanner.scan(base, [&](MinerId, CoinId, MinerId, CoinId,
+                                      const Rational& sum) {
+          if (!sum.is_zero()) {
+            nonzero.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return true;
+        });
+      });
+  return !nonzero.load();
+}
+
 bool has_exact_potential(const Game& game, std::uint64_t max_configs) {
+  EnumerationOptions opts;
+  opts.max_configs = max_configs;
+  return has_exact_potential(game, opts);
+}
+
+bool has_exact_potential_scan(const Game& game, std::uint64_t max_configs) {
   const auto count = configuration_count(game.system());
   GOC_CHECK_ARG(count.has_value() && *count <= max_configs,
                 "game too large for exhaustive exact-potential check");
   bool all_zero = true;
-  visit_four_cycles(game, *count,
-                    [&](const Configuration& base, MinerId p, CoinId ap,
-                        MinerId q, CoinId bp) {
-                      if (!four_cycle_sum(game, base, p, ap, q, bp).is_zero()) {
-                        all_zero = false;
-                        return false;
-                      }
-                      return true;
-                    });
+  visit_four_cycles_scan(game, *count,
+                         [&](const Configuration& base, MinerId p, CoinId ap,
+                             MinerId q, CoinId bp) {
+                           if (!four_cycle_sum(game, base, p, ap, q, bp).is_zero()) {
+                             all_zero = false;
+                             return false;
+                           }
+                           return true;
+                         });
   return all_zero;
 }
 

@@ -33,10 +33,26 @@ constexpr u128 uabs128(i128 x) noexcept {
   return x < 0 ? ~static_cast<u128>(x) + 1 : static_cast<u128>(x);
 }
 
-/// Binary GCD on unsigned 128-bit values. gcd(0, x) == x.
+/// Euclidean GCD on unsigned 64-bit values (hardware division beats the
+/// binary 128-bit loop by a wide margin when the operands fit).
+constexpr std::uint64_t gcd64(std::uint64_t a, std::uint64_t b) noexcept {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+/// Binary GCD on unsigned 128-bit values. gcd(0, x) == x. Dispatches to the
+/// 64-bit Euclidean path when both operands fit — the overwhelmingly common
+/// case for game quantities — so `Rational` normalization stays cheap.
 constexpr u128 gcd128(u128 a, u128 b) noexcept {
   if (a == 0) return b;
   if (b == 0) return a;
+  if ((a >> 64) == 0 && (b >> 64) == 0) {
+    return gcd64(static_cast<std::uint64_t>(a), static_cast<std::uint64_t>(b));
+  }
   int shift = 0;
   while (((a | b) & 1) == 0) {
     a >>= 1;

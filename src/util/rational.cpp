@@ -44,6 +44,17 @@ bool mul_overflow_u128(u128 x, u128 y, u128* out) noexcept {
   return __builtin_mul_overflow(x, y, out);
 }
 
+/// Small-operand predicate for the arithmetic fast paths: when every
+/// numerator and denominator of both operands fits in 32 bits, each cross
+/// product fits in 62 bits and a sum of two fits in 63, so no intermediate
+/// can overflow and the GCD pre-reduction (two 128-bit GCDs per `+`/`*`)
+/// is pure overhead — the single reduction in `normalize()` suffices.
+constexpr i128 kSmallOperand = static_cast<i128>(1) << 31;
+
+constexpr bool small_operand(i128 num, i128 den) noexcept {
+  return num > -kSmallOperand && num < kSmallOperand && den < kSmallOperand;
+}
+
 }  // namespace
 
 Rational::Rational(std::int64_t numerator, std::int64_t denominator)
@@ -127,6 +138,15 @@ Rational Rational::operator-() const noexcept {
 }
 
 Rational Rational::operator+(const Rational& other) const {
+  if (den_ == 1 && other.den_ == 1) {
+    // Integer ⊕ integer — already normalized, no GCD at all. This is the
+    // per-move mass update of every integer-power game.
+    return Rational(checked_add(num_, other.num_), 1, /*already_normalized=*/true);
+  }
+  if (small_operand(num_, den_) && small_operand(other.num_, other.den_)) {
+    return Rational(num_ * other.den_ + other.num_ * den_, den_ * other.den_,
+                    /*already_normalized=*/false);
+  }
   // a/b + c/d = (a*(d/g) + c*(b/g)) / (b*(d/g)) with g = gcd(b, d).
   const u128 g = gcd128(static_cast<u128>(den_), static_cast<u128>(other.den_));
   const i128 d_over_g = static_cast<i128>(static_cast<u128>(other.den_) / g);
@@ -142,6 +162,13 @@ Rational Rational::operator-(const Rational& other) const {
 }
 
 Rational Rational::operator*(const Rational& other) const {
+  if (den_ == 1 && other.den_ == 1) {
+    return Rational(checked_mul(num_, other.num_), 1, /*already_normalized=*/true);
+  }
+  if (small_operand(num_, den_) && small_operand(other.num_, other.den_)) {
+    return Rational(num_ * other.num_, den_ * other.den_,
+                    /*already_normalized=*/false);
+  }
   // Reduce cross factors before multiplying to delay overflow.
   const u128 g1 = gcd128(uabs128(num_), static_cast<u128>(other.den_));
   const u128 g2 = gcd128(uabs128(other.num_), static_cast<u128>(den_));

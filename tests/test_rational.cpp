@@ -175,6 +175,45 @@ TEST(Rational, CompoundAssignment) {
   EXPECT_EQ(r, Rational(1));
 }
 
+TEST(Rational, SmallOperandFastPathMatchesGeneralPath) {
+  // Operands straddling the 2^31 fast-path boundary: the fast path (no GCD
+  // pre-reduction) and the general path must agree exactly. Ground truth is
+  // the textbook formula evaluated in i128 via from_parts.
+  const std::int64_t boundary = std::int64_t{1} << 31;
+  const std::int64_t probes[] = {1,           3,          boundary - 2,
+                                 boundary - 1, boundary,  boundary + 1,
+                                 2 * boundary, (std::int64_t{1} << 40) + 7};
+  for (const std::int64_t an : probes) {
+    for (const std::int64_t ad : probes) {
+      const Rational a(an, ad);
+      const Rational b(ad + 1, an);
+      const Rational expected_sum = Rational::from_parts(
+          static_cast<i128>(a.numerator()) * b.denominator() +
+              static_cast<i128>(b.numerator()) * a.denominator(),
+          static_cast<i128>(a.denominator()) * b.denominator());
+      EXPECT_EQ(a + b, expected_sum) << an << "/" << ad;
+      const Rational expected_prod = Rational::from_parts(
+          static_cast<i128>(a.numerator()) * b.numerator(),
+          static_cast<i128>(a.denominator()) * b.denominator());
+      EXPECT_EQ(a * b, expected_prod) << an << "/" << ad;
+    }
+  }
+}
+
+TEST(Rational, SmallOperandFastPathNegativeAndZero) {
+  const std::int64_t boundary = std::int64_t{1} << 31;
+  // Largest-magnitude negative numerator that still takes the fast path.
+  const Rational a(-(boundary - 1), boundary - 1);  // == -1
+  EXPECT_EQ(a + a, Rational(-2));
+  EXPECT_EQ(a * a, Rational(1));
+  EXPECT_EQ(a + Rational(0), a);
+  EXPECT_EQ(a * Rational(0), Rational(0));
+  // Just past the boundary on one side only — mixed fast/general operands.
+  const Rational big(boundary, 1);
+  EXPECT_EQ(a + big, Rational(boundary - 1));
+  EXPECT_EQ(a * big, Rational(-boundary));
+}
+
 TEST(Rational, SumOfManySmallFractionsStaysExact) {
   // Σ_{i=1..50} 1/i — the harmonic sum H_50 as an exact fraction.
   Rational sum(0);
