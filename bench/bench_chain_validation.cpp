@@ -3,20 +3,29 @@
 /// difficulty dynamics.
 ///
 /// The paper's model assumes each coin divides its reward in proportion to
-/// invested power. Part A validates that abstraction from first principles:
-/// in a discrete-event block-race simulation, each miner's realized fiat
-/// share converges to its power share as the horizon grows (law of large
-/// numbers over block lotteries). Part B shows the migration equilibrium
-/// of the induced game emerging from chain-level dynamics. Part C exhibits
-/// what the abstraction hides: the EDA difficulty rule plus myopic
-/// profitability-chasers yields the 2017 hashrate sawtooth (Figure 1b's
-/// fine structure), while game-semantics miners settle.
+/// invested power. Part A validates that abstraction from first principles
+/// as a Monte Carlo batch: R independent block-race replicas per horizon,
+/// fanned across the thread pool by the trajectory engine, each miner's
+/// realized fiat share converging to its power share (law of large numbers
+/// over block lotteries) — now with the variance quantified (mean ± 95% CI
+/// across replicas, bit-identical at any `--threads`). Part B shows the
+/// migration equilibrium of the induced game emerging from chain-level
+/// dynamics. Part C exhibits what the abstraction hides: the EDA
+/// difficulty rule plus myopic profitability-chasers yields the 2017
+/// hashrate sawtooth (Figure 1b's fine structure), while game-semantics
+/// miners settle.
+///
+/// `--compare-scan` replays every Part B/C scenario (and one Part A
+/// replica per horizon) on the legacy `chain::EventQueue` engine and
+/// requires bit-identical trajectories against the flat event core.
 
 #include <cmath>
 
 #include "bench_common.hpp"
 #include "chain/chain_sim.hpp"
 #include "chain/difficulty.hpp"
+#include "engine/sweep.hpp"
+#include "sim/trajectory.hpp"
 
 namespace {
 
@@ -25,15 +34,22 @@ int run(int argc, char** argv) {
   using namespace goc::chain;
   const Cli cli(argc, argv);
   const std::uint64_t seed0 = cli.get_u64("seed", 9);
+  const bool quick = cli.get_bool("quick", false);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
+  const bool compare_scan = cli.get_bool("compare-scan", false);
+  const std::size_t replicas = cli.get_u64("replicas", quick ? 4 : 16);
 
-  bench::banner("E9 — chain-level validation of the proportional-reward model",
+  bench::banner("E9 — chain-level validation of the proportional-reward "
+                "model",
                 "Exponential block races with power-proportional winner "
-                "lotteries; difficulty adjustment per real protocols.");
+                "lotteries; difficulty adjustment per real protocols. "
+                "Part A is a Monte Carlo batch (mean ± 95% CI over " +
+                    std::to_string(replicas) + " replicas).");
 
-  // Part A: realized vs predicted reward share, by horizon.
-  Table share({"horizon_days", "blocks", "share_MAE", "largest_realized",
-               "largest_power_share"});
-  for (const double days : {2.0, 10.0, 60.0, 240.0}) {
+  bool scans_identical = true;
+  // Builds the Part A single-chain validation scenario.
+  const auto make_validation = [&](double days, sim::EngineKind engine,
+                                   std::uint64_t seed) {
     std::vector<ChainSpec> chains;
     chains.push_back(ChainSpec{"solo", 600.0, 1.0 / 6.0, 10.0,
                                std::make_unique<FixedWindowRetarget>(
@@ -41,41 +57,94 @@ int run(int argc, char** argv) {
     ChainSimOptions opts;
     opts.duration_hours = days * 24.0;
     opts.policy = MinerPolicy::kStatic;
-    opts.seed = seed0;
-    std::vector<double> powers{100.0, 50.0, 30.0, 20.0};
-    MultiChainSimulator sim(powers, std::move(chains), opts);
-    const auto result = sim.run();
-    double total = 0.0;
-    for (const double r : result.miner_rewards_fiat) total += r;
-    share.row() << fmt_double(days, 0) << result.blocks_per_chain[0]
-                << fmt_double(result.share_prediction_mae, 4)
-                << fmt_double(total > 0 ? result.miner_rewards_fiat[0] / total
-                                        : 0.0,
-                              3)
+    opts.seed = seed;
+    opts.engine = engine;
+    opts.record_timeline = false;
+    return MultiChainSimulator({100.0, 50.0, 30.0, 20.0}, std::move(chains),
+                               opts);
+  };
+
+  // Part A: realized vs predicted reward share, by horizon — batched.
+  Table share({"horizon_days", "blocks_mean", "share_MAE_mean",
+               "share_MAE_ci95", "largest_realized_mean",
+               "largest_power_share"});
+  for (const double days : {2.0, 10.0, 60.0, 240.0}) {
+    sim::TrajectoryBatchOptions batch;
+    batch.replicas = replicas;
+    batch.root_seed = seed0 + static_cast<std::uint64_t>(days);
+    batch.threads = threads;
+    const sim::TrajectoryBatchResult result = sim::run_trajectory_batch(
+        {"blocks", "share_mae", "largest_realized"}, batch,
+        [&](std::size_t, std::uint64_t seed) {
+          MultiChainSimulator sim =
+              make_validation(days, sim::EngineKind::kFlat, seed);
+          const ChainSimResult r = sim.run();
+          double total = 0.0;
+          for (const double v : r.miner_rewards_fiat) total += v;
+          return std::vector<double>{
+              static_cast<double>(r.blocks_per_chain[0]),
+              r.share_prediction_mae,
+              total > 0.0 ? r.miner_rewards_fiat[0] / total : 0.0};
+        });
+    share.row() << fmt_double(days, 0)
+                << fmt_double(result.summary("blocks").mean, 0)
+                << fmt_double(result.summary("share_mae").mean, 4)
+                << fmt_double(result.summary("share_mae").ci95_halfwidth, 4)
+                << fmt_double(result.summary("largest_realized").mean, 3)
                 << fmt_double(0.5, 3);
+    if (compare_scan) {
+      // One replica per horizon replayed on the legacy engine.
+      const std::uint64_t seed = engine::task_seed(batch.root_seed, 0, 0);
+      MultiChainSimulator flat =
+          make_validation(days, sim::EngineKind::kFlat, seed);
+      MultiChainSimulator legacy =
+          make_validation(days, sim::EngineKind::kLegacy, seed);
+      scans_identical =
+          scans_identical && sim::chain_result_hash(flat.run()) ==
+                                 sim::chain_result_hash(legacy.run());
+    }
   }
   bench::emit(cli, share,
-              "Part A — reward share vs power share "
+              "Part A — reward share vs power share, Monte Carlo "
               "(theory: MAE -> 0 as horizon grows)",
               "share");
+
+  // Runs a Part B/C scenario; with --compare-scan, also on the legacy
+  // engine, requiring bit-identical trajectories.
+  const auto run_checked = [&](auto make_sim) {
+    MultiChainSimulator flat = make_sim(sim::EngineKind::kFlat);
+    ChainSimResult result = flat.run();
+    if (compare_scan) {
+      MultiChainSimulator legacy = make_sim(sim::EngineKind::kLegacy);
+      scans_identical = scans_identical &&
+                        sim::chain_result_hash(result) ==
+                            sim::chain_result_hash(legacy.run());
+    }
+    return result;
+  };
 
   // Part B: migration equilibrium from chain dynamics.
   Table split({"weights", "predicted_heavy_share", "simulated_heavy_share"});
   for (const auto& [heavy, light] :
        std::vector<std::pair<double, double>>{{30, 10}, {20, 20}, {50, 10}}) {
-    std::vector<ChainSpec> chains;
-    chains.push_back(ChainSpec{"heavy", 600.0, 1.0 / 6.0, heavy,
-                               std::make_unique<FixedWindowRetarget>(10, 1.0 / 6.0)});
-    chains.push_back(ChainSpec{"light", 600.0, 1.0 / 6.0, light,
-                               std::make_unique<FixedWindowRetarget>(10, 1.0 / 6.0)});
-    ChainSimOptions opts;
-    opts.duration_hours = 24.0 * 20;
-    opts.policy = MinerPolicy::kBetterResponse;
-    opts.reevaluation_fraction = 0.5;
-    opts.seed = seed0 + 1;
-    std::vector<double> powers(16, 10.0);
-    MultiChainSimulator sim(std::move(powers), std::move(chains), opts);
-    const auto result = sim.run();
+    const auto result = run_checked([&, heavy = heavy,
+                                     light = light](sim::EngineKind engine) {
+      std::vector<ChainSpec> chains;
+      chains.push_back(
+          ChainSpec{"heavy", 600.0, 1.0 / 6.0, heavy,
+                    std::make_unique<FixedWindowRetarget>(10, 1.0 / 6.0)});
+      chains.push_back(
+          ChainSpec{"light", 600.0, 1.0 / 6.0, light,
+                    std::make_unique<FixedWindowRetarget>(10, 1.0 / 6.0)});
+      ChainSimOptions opts;
+      opts.duration_hours = 24.0 * 20;
+      opts.policy = MinerPolicy::kBetterResponse;
+      opts.reevaluation_fraction = 0.5;
+      opts.seed = seed0 + 1;
+      opts.engine = engine;
+      std::vector<double> powers(16, 10.0);
+      return MultiChainSimulator(std::move(powers), std::move(chains), opts);
+    });
     const auto& last = result.timeline.back();
     const double total = last.hashrate[0] + last.hashrate[1];
     split.row() << (fmt_double(heavy, 0) + ":" + fmt_double(light, 0))
@@ -91,20 +160,23 @@ int run(int argc, char** argv) {
   Table churn({"policy", "migrations", "late_share_changes", "bch_share_sd%"});
   for (const MinerPolicy policy :
        {MinerPolicy::kMyopicDifficulty, MinerPolicy::kBetterResponse}) {
-    std::vector<ChainSpec> chains;
-    chains.push_back(ChainSpec{"btc", 20.0, 1.0 / 6.0, 60.0,
-                               std::make_unique<SmaRetarget>(20, 1.0 / 6.0, 1.2)});
-    chains.push_back(ChainSpec{"bch", 20.0, 1.0 / 6.0, 10.0,
-                               std::make_unique<EmergencyAdjuster>(
-                                   20, 1.0 / 6.0, 0.5, 0.20)});
-    ChainSimOptions opts;
-    opts.duration_hours = 24.0 * 20;
-    opts.policy = policy;
-    opts.reevaluation_fraction = 0.5;
-    opts.seed = seed0 + 2;
-    std::vector<double> powers(12, 10.0);
-    MultiChainSimulator sim(std::move(powers), std::move(chains), opts);
-    const auto result = sim.run();
+    const auto result = run_checked([&](sim::EngineKind engine) {
+      std::vector<ChainSpec> chains;
+      chains.push_back(
+          ChainSpec{"btc", 20.0, 1.0 / 6.0, 60.0,
+                    std::make_unique<SmaRetarget>(20, 1.0 / 6.0, 1.2)});
+      chains.push_back(ChainSpec{"bch", 20.0, 1.0 / 6.0, 10.0,
+                                 std::make_unique<EmergencyAdjuster>(
+                                     20, 1.0 / 6.0, 0.5, 0.20)});
+      ChainSimOptions opts;
+      opts.duration_hours = 24.0 * 20;
+      opts.policy = policy;
+      opts.reevaluation_fraction = 0.5;
+      opts.seed = seed0 + 2;
+      opts.engine = engine;
+      std::vector<double> powers(12, 10.0);
+      return MultiChainSimulator(std::move(powers), std::move(chains), opts);
+    });
     std::size_t late_changes = 0;
     double mean = 0.0, m2 = 0.0;
     std::size_t count = 0;
@@ -117,7 +189,8 @@ int run(int argc, char** argv) {
       mean += delta / static_cast<double>(count);
       m2 += delta * (bch_share - mean);
       if (i + 1 < result.timeline.size() &&
-          std::fabs(result.timeline[i + 1].hashrate[1] - p.hashrate[1]) > 1e-9) {
+          std::fabs(result.timeline[i + 1].hashrate[1] - p.hashrate[1]) >
+              1e-9) {
         ++late_changes;
       }
     }
@@ -133,6 +206,12 @@ int run(int argc, char** argv) {
               "Part C — EDA sawtooth: myopic chasers churn forever, "
               "game-semantics miners settle",
               "churn");
+
+  if (compare_scan) {
+    std::cout << "[legacy replay: trajectories "
+              << (scans_identical ? "bit-identical" : "DIVERGED") << "]\n";
+    if (!scans_identical) return 1;
+  }
   return 0;
 }
 

@@ -1,0 +1,265 @@
+/// \file bench_des.cpp
+/// The stochastic hot path: legacy callback DES vs the flat event core.
+///
+/// PR 2 gave the learning loop an incremental index, PR 3 gave the
+/// exhaustive walkers a devirtualized sharded engine; this harness measures
+/// the same treatment applied to the stochastic simulators. Old vs new on
+/// identical workloads: the legacy path runs `chain::EventQueue`
+/// (std::function per event, heap allocation at schedule, full miner scans
+/// per block), the flat path runs `sim::EventCore` (POD events, enum
+/// switch, generation invalidation in the core, per-chain member lists).
+/// Both paths consume the RNG identically, so trajectories must be
+/// **bit-identical** — every row checks the trajectory hash, and any
+/// divergence fails the run (`--compare-scan` is implied; the flag is
+/// accepted for CI symmetry with the other engine benches).
+///
+/// The second table exercises layer 2: a Monte Carlo chain batch fanned
+/// across the thread pool, replayed on one lane — bit-identical aggregates
+/// at any `--threads`, with the parallel speedup reported.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "chain/chain_sim.hpp"
+#include "chain/difficulty.hpp"
+#include "market/fee_market.hpp"
+#include "market/market_sim.hpp"
+#include "market/price_process.hpp"
+#include "sim/event_core.hpp"
+#include "sim/trajectory.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace goc;
+
+// ------------------------------------------------------------- workloads
+
+/// The reference chain workload: a heavy-tailed population spread over
+/// many chains under game-semantics migration — block events dominate, and
+/// the legacy path pays a full miner scan per block.
+chain::MultiChainSimulator make_reference_chain(std::size_t miners,
+                                                std::size_t num_chains,
+                                                double days,
+                                                sim::EngineKind engine,
+                                                std::uint64_t seed) {
+  Rng setup(seed ^ 0xDE5ULL);
+  std::vector<double> powers;
+  powers.reserve(miners);
+  for (std::size_t i = 0; i < miners; ++i) {
+    powers.push_back(std::min(4000.0, std::ceil(setup.pareto(10.0, 1.16))));
+  }
+  std::vector<std::size_t> assignment;
+  assignment.reserve(miners);
+  for (std::size_t i = 0; i < miners; ++i) {
+    assignment.push_back(i % num_chains);
+  }
+  std::vector<double> mass(num_chains, 0.0);
+  for (std::size_t i = 0; i < miners; ++i) mass[assignment[i]] += powers[i];
+
+  std::vector<chain::ChainSpec> chains;
+  for (std::size_t c = 0; c < num_chains; ++c) {
+    // Difficulty calibrated to the initial split (protocol cadence 6/h);
+    // rewards spread 3:1 so better-response migration stays busy.
+    const double reward = 10.0 + 20.0 * static_cast<double>(c) /
+                                     static_cast<double>(num_chains);
+    chains.push_back(chain::ChainSpec{
+        "c" + std::to_string(c), std::max(1.0, mass[c] / 6.0), 1.0 / 6.0,
+        reward,
+        std::make_unique<chain::FixedWindowRetarget>(72, 1.0 / 6.0)});
+  }
+  chain::ChainSimOptions options;
+  options.duration_hours = days * 24.0;
+  options.decision_interval_hours = 4.0;
+  options.policy = chain::MinerPolicy::kBetterResponse;
+  options.reevaluation_fraction = 0.15;
+  options.seed = seed;
+  options.record_timeline = false;
+  options.engine = engine;
+  return chain::MultiChainSimulator(std::move(powers), std::move(chains),
+                                    options, std::move(assignment));
+}
+
+/// The EDA stress: few miners, hot invalidation churn (every epoch moves
+/// hashrate, so races go stale constantly) — the queue-mechanics case.
+chain::MultiChainSimulator make_eda_chain(double days, sim::EngineKind engine,
+                                          std::uint64_t seed) {
+  std::vector<chain::ChainSpec> chains;
+  chains.push_back(chain::ChainSpec{
+      "btc", 20.0, 1.0 / 6.0, 60.0,
+      std::make_unique<chain::SmaRetarget>(20, 1.0 / 6.0, 1.2)});
+  chains.push_back(chain::ChainSpec{
+      "bch", 20.0, 1.0 / 6.0, 10.0,
+      std::make_unique<chain::EmergencyAdjuster>(20, 1.0 / 6.0, 0.5, 0.20)});
+  chain::ChainSimOptions options;
+  options.duration_hours = days * 24.0;
+  options.policy = chain::MinerPolicy::kMyopicDifficulty;
+  options.reevaluation_fraction = 0.5;
+  options.seed = seed;
+  options.record_timeline = false;
+  options.engine = engine;
+  std::vector<double> powers(12, 10.0);
+  return chain::MultiChainSimulator(std::move(powers), std::move(chains),
+                                    options);
+}
+
+market::MarketSimulator make_market(std::size_t epochs, sim::EngineKind engine,
+                                    std::uint64_t seed) {
+  std::vector<market::CoinSpec> coins;
+  coins.emplace_back("major", 12.5, 6.0,
+                     std::make_unique<market::GbmProcess>(7400.0, 0.0, 0.03),
+                     market::FeeMarket(400.0, 0.05, 1.5));
+  coins.emplace_back("minor", 12.5, 6.0,
+                     std::make_unique<market::GbmProcess>(620.0, 0.0, 0.06),
+                     market::FeeMarket(60.0, 0.02, 1.5));
+  coins.emplace_back("tail", 25.0, 12.0,
+                     std::make_unique<market::GbmProcess>(40.0, 0.0, 0.10),
+                     market::FeeMarket(10.0, 0.01, 1.5));
+  market::MarketOptions options;
+  options.epochs = epochs;
+  options.seed = seed;
+  options.engine = engine;
+  std::vector<std::int64_t> powers;
+  for (std::size_t i = 0; i < 48; ++i) {
+    powers.push_back(10 + static_cast<std::int64_t>(i) * 37 % 900);
+  }
+  return market::MarketSimulator(std::move(powers), std::move(coins), options);
+}
+
+struct EngineRun {
+  double wall_ms = 0.0;
+  std::uint64_t events = 0;
+  std::uint64_t hash = 0;
+};
+
+template <typename MakeSim>
+EngineRun time_chain(const MakeSim& make, sim::EngineKind engine) {
+  goc::bench::Stopwatch watch;
+  chain::MultiChainSimulator sim = make(engine);
+  const chain::ChainSimResult result = sim.run();
+  EngineRun run;
+  run.wall_ms = watch.elapsed_ms();
+  run.events = result.events_dispatched;
+  run.hash = sim::chain_result_hash(result);
+  return run;
+}
+
+EngineRun time_market(std::size_t epochs, sim::EngineKind engine,
+                      std::uint64_t seed) {
+  goc::bench::Stopwatch watch;
+  market::MarketSimulator sim = make_market(epochs, engine, seed);
+  const auto records = sim.run();
+  EngineRun run;
+  run.wall_ms = watch.elapsed_ms();
+  // One price tick + one fee update per coin per epoch, plus the epoch.
+  run.events = records.size() * (2 * sim.num_coins() + 1);
+  run.hash = sim::market_records_hash(records);
+  return run;
+}
+
+int run(int argc, char** argv) {
+  const Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
+  const std::uint64_t seed0 = cli.get_u64("seed", 2017);
+  // The old-vs-new table always runs both engines and verifies trajectory
+  // bit-equality; the flag is accepted so CI invocations read like the
+  // other engine benches.
+  (void)cli.get_bool("compare-scan", false);
+
+  bench::banner(
+      "DES engine old-vs-new (speedup = legacy_ms/flat_ms, single lane)",
+      "Legacy = std::function EventQueue + full miner scans; flat = "
+      "sim::EventCore POD events + enum dispatch + member lists. Identical "
+      "RNG draws: trajectories must be bit-identical.");
+
+  bool all_identical = true;
+  Table table({"workload", "events", "legacy_ms", "flat_ms", "speedup",
+               "flat_events/s", "identical"});
+  const auto add_row = [&](const std::string& name, const EngineRun& legacy,
+                           const EngineRun& flat) {
+    const bool identical =
+        legacy.hash == flat.hash && legacy.events == flat.events;
+    all_identical = all_identical && identical;
+    table.row() << name << fmt_group(flat.events)
+                << fmt_double(legacy.wall_ms, 2) << fmt_double(flat.wall_ms, 2)
+                << fmt_double(legacy.wall_ms / flat.wall_ms, 1)
+                << fmt_group(static_cast<std::uint64_t>(
+                       1000.0 * static_cast<double>(flat.events) /
+                       flat.wall_ms))
+                << (identical ? "yes" : "NO");
+  };
+
+  {
+    const std::size_t miners = 2048;  // the acceptance reference shape
+    const std::size_t num_chains = 128;
+    const double days = quick ? 5.0 : 20.0;
+    const auto make = [&](sim::EngineKind engine) {
+      return make_reference_chain(miners, num_chains, days, engine, seed0);
+    };
+    add_row("chain " + std::to_string(miners) + "m x " +
+                std::to_string(num_chains) + "c better-response (reference)",
+            time_chain(make, sim::EngineKind::kLegacy),
+            time_chain(make, sim::EngineKind::kFlat));
+  }
+  {
+    const double days = quick ? 60.0 : 240.0;
+    const auto make = [&](sim::EngineKind engine) {
+      return make_eda_chain(days, engine, seed0 + 1);
+    };
+    add_row("chain 12m x 2c EDA sawtooth (invalidation churn)",
+            time_chain(make, sim::EngineKind::kLegacy),
+            time_chain(make, sim::EngineKind::kFlat));
+  }
+  {
+    const std::size_t epochs = quick ? 24 * 30 : 24 * 90;
+    add_row("market 48m x 3c epoch events",
+            time_market(epochs, sim::EngineKind::kLegacy, seed0 + 2),
+            time_market(epochs, sim::EngineKind::kFlat, seed0 + 2));
+  }
+  bench::emit(cli, table, "Old vs new (trajectory hashes checked per row)");
+
+  // ---------------------------------------------------- Monte Carlo batch
+  const std::size_t replicas = quick ? 16 : 48;
+  sim::TrajectoryBatchOptions batch;
+  batch.replicas = replicas;
+  batch.root_seed = seed0;
+  batch.threads = threads;
+  const auto chain_factory = [&](std::uint64_t seed) {
+    return make_reference_chain(quick ? 128 : 256, 8, quick ? 10.0 : 20.0,
+                                sim::EngineKind::kFlat, seed);
+  };
+  bench::Stopwatch watch;
+  const sim::TrajectoryBatchResult parallel =
+      sim::run_chain_batch(chain_factory, batch);
+  const double parallel_ms = watch.elapsed_ms();
+  batch.threads = 1;
+  watch.restart();
+  const sim::TrajectoryBatchResult serial =
+      sim::run_chain_batch(chain_factory, batch);
+  const double serial_ms = watch.elapsed_ms();
+  const bool batch_identical = parallel.deterministic_equals(serial);
+  all_identical = all_identical && batch_identical;
+
+  bench::emit(cli, parallel.to_table(),
+              "Monte Carlo chain batch: " + std::to_string(replicas) +
+                  " replicas (mean / 95% CI per metric)",
+              "batch");
+  std::cout << "[batch: " << replicas << " replicas in "
+            << fmt_double(parallel_ms, 1) << " ms; 1-lane replay "
+            << fmt_double(serial_ms, 1) << " ms; speedup "
+            << fmt_double(serial_ms / parallel_ms, 2) << "x; aggregates "
+            << (batch_identical ? "bit-identical" : "DIVERGED")
+            << " (values_hash " << parallel.values_hash() << ")]\n";
+
+  std::cout << "trajectory equality: "
+            << (all_identical ? "OK (all bit-identical)" : "FAIL") << "\n";
+  return all_identical ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return run(argc, argv); }

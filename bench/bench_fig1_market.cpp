@@ -16,7 +16,9 @@
 
 #include "bench_common.hpp"
 #include "market/fig1_replay.hpp"
+#include "engine/sweep.hpp"
 #include "market/scenario.hpp"
+#include "sim/trajectory.hpp"
 
 namespace {
 
@@ -30,6 +32,10 @@ int run(int argc, char** argv) {
   params.revert_day = cli.get_double("revert-day", 15.0);
   params.miners = cli.get_u64("miners", 64);
   params.seed = cli.get_u64("seed", 1711);
+  const bool quick = cli.get_bool("quick", false);
+  const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
+  const bool compare_scan = cli.get_bool("compare-scan", false);
+  const std::size_t replicas = cli.get_u64("replicas", quick ? 4 : 12);
 
   bench::banner("E1/E2 — Figure 1a/1b: BTC/BCH fork-flip migration",
                 "Scripted exchange-rate shock at day " +
@@ -80,35 +86,76 @@ int run(int argc, char** argv) {
   // chain simulator (EDA difficulty + myopic profit-chasers) — this is
   // where Fig 1b's fine structure lives: the pre-shock sawtooth (the real
   // BCH EDA era), transient hashrate *crossovers*, and the elevated flip
-  // window.
+  // window. Run as a Monte Carlo batch on the trajectory engine: R
+  // replicas across the thread pool, phase shares reported with 95% CIs
+  // (bit-identical at any --threads).
   Fig1ReplayParams replay_params;
   replay_params.days = params.days;
   replay_params.shock_day = params.shock_day;
   replay_params.revert_day = params.revert_day;
   replay_params.seed = params.seed;
-  const Fig1ReplayResult replay = run_fig1_replay(replay_params);
+  sim::TrajectoryBatchOptions batch;
+  batch.replicas = replicas;
+  batch.root_seed = params.seed;
+  batch.threads = threads;
+  const sim::TrajectoryBatchResult replay =
+      run_fig1_replay_batch(replay_params, batch);
 
-  Table fidelity({"phase", "avg_bch_hash_share%"});
-  fidelity.row() << "pre-shock (EDA sawtooth era)"
-                 << fmt_double(100.0 * replay.pre_shock_share, 1);
-  fidelity.row() << "flip window [shock, revert]"
-                 << fmt_double(100.0 * replay.flip_window_share, 1);
-  fidelity.row() << "after reversal"
-                 << fmt_double(100.0 * replay.post_revert_share, 1);
+  Table fidelity({"phase", "avg_bch_hash_share%", "ci95", "min", "max"});
+  const auto phase_row = [&](const std::string& label,
+                             const std::string& metric) {
+    const sim::MetricSummary& s = replay.summary(metric);
+    fidelity.row() << label << fmt_double(100.0 * s.mean, 1)
+                   << fmt_double(100.0 * s.ci95_halfwidth, 1)
+                   << fmt_double(100.0 * s.min, 1)
+                   << fmt_double(100.0 * s.max, 1);
+  };
+  phase_row("pre-shock (EDA sawtooth era)", "pre_shock_share");
+  phase_row("flip window [shock, revert]", "flip_window_share");
+  phase_row("after reversal", "post_revert_share");
   bench::emit(cli, fidelity,
-              "Chain-level replay (difficulty dynamics + myopic miners)",
+              "Chain-level replay, " + std::to_string(replicas) +
+                  " Monte Carlo replicas (difficulty dynamics + myopic "
+                  "miners)",
               "replay");
-  std::cout << "replay peak BCH share: "
-            << fmt_double(100.0 * replay.peak_minor_share, 1) << "% at day "
-            << fmt_double(replay.peak_day, 1) << " ("
-            << (replay.peak_minor_share > 0.5 ? "crossover reproduced"
-                                              : "no crossover")
-            << "); " << replay.migrations << " migrations\n";
+  const sim::MetricSummary& peak_share = replay.summary("peak_minor_share");
+  std::cout << "replay peak BCH share: mean "
+            << fmt_double(100.0 * peak_share.mean, 1) << "% (max "
+            << fmt_double(100.0 * peak_share.max, 1) << "%; crossover in "
+            << (peak_share.max > 0.5 ? "at least one" : "no") << " replica); "
+            << fmt_double(replay.summary("migrations").mean, 0)
+            << " migrations/replica\n";
 
-  const bool replay_ok = replay.flip_window_share > replay.pre_shock_share &&
-                         replay.post_revert_share < replay.flip_window_share;
+  bool scans_identical = true;
+  if (compare_scan) {
+    // One replica replayed on the legacy EventQueue engine: the coupled
+    // chain trajectories must be bit-identical, series included.
+    Fig1ReplayParams one = replay_params;
+    one.seed = engine::task_seed(batch.root_seed, 0, 0);
+    one.engine = sim::EngineKind::kFlat;
+    const Fig1ReplayResult flat = run_fig1_replay(one);
+    one.engine = sim::EngineKind::kLegacy;
+    const Fig1ReplayResult legacy = run_fig1_replay(one);
+    scans_identical = flat.migrations == legacy.migrations &&
+                      flat.peak_minor_share == legacy.peak_minor_share &&
+                      flat.series.size() == legacy.series.size();
+    for (std::size_t i = 0; scans_identical && i < flat.series.size(); ++i) {
+      scans_identical =
+          flat.series[i].minor_hash == legacy.series[i].minor_hash &&
+          flat.series[i].major_hash == legacy.series[i].major_hash &&
+          flat.series[i].minor_difficulty == legacy.series[i].minor_difficulty;
+    }
+    std::cout << "[legacy replay: trajectories "
+              << (scans_identical ? "bit-identical" : "DIVERGED") << "]\n";
+  }
+
+  const sim::MetricSummary& pre_s = replay.summary("pre_shock_share");
+  const sim::MetricSummary& flip_s = replay.summary("flip_window_share");
+  const sim::MetricSummary& post_s = replay.summary("post_revert_share");
+  const bool replay_ok =
+      flip_s.mean > pre_s.mean && post_s.mean < flip_s.mean;
   std::cout << "replay shape check: " << (replay_ok ? "OK" : "FAIL") << "\n";
-  return (peak > pre && post < peak && replay_ok) ? 0 : 1;
+  return (peak > pre && post < peak && replay_ok && scans_identical) ? 0 : 1;
 }
 
 }  // namespace

@@ -14,7 +14,8 @@ MultiChainSimulator::MultiChainSimulator(std::vector<double> miner_powers,
     : powers_(std::move(miner_powers)),
       chains_(std::move(chains)),
       options_(options),
-      rng_(options.seed) {
+      rng_(options.seed),
+      flat_(options.engine == sim::EngineKind::kFlat) {
   GOC_CHECK_ARG(!powers_.empty(), "need at least one miner");
   GOC_CHECK_ARG(!chains_.empty(), "need at least one chain");
   for (const double m : powers_) {
@@ -40,6 +41,14 @@ MultiChainSimulator::MultiChainSimulator(std::vector<double> miner_powers,
   for (std::size_t i = 0; i < powers_.size(); ++i) {
     mass_[assignment_[i]] += powers_[i];
   }
+  if (flat_) {
+    members_.resize(chains_.size());
+    for (std::size_t i = 0; i < powers_.size(); ++i) {
+      members_[assignment_[i]].push_back(static_cast<std::uint32_t>(i));
+    }
+    core_.declare_streams(sim::EventType::kBlockFound, chains_.size());
+    core_.declare_streams(sim::EventType::kDecisionEpoch, 1);
+  }
   difficulty_.resize(chains_.size());
   reward_fiat_.resize(chains_.size());
   for (std::size_t c = 0; c < chains_.size(); ++c) {
@@ -53,13 +62,22 @@ MultiChainSimulator::MultiChainSimulator(std::vector<double> miner_powers,
   predicted_rewards_.assign(powers_.size(), 0.0);
 }
 
+double MultiChainSimulator::sim_now() const noexcept {
+  return flat_ ? core_.now() : queue_.now();
+}
+
 void MultiChainSimulator::arm_block_race(std::size_t chain) {
   if (mass_[chain] <= 0.0) return;  // re-armed when a miner joins
   // The next block faces the prospective difficulty (EDA discounts apply).
   const double difficulty =
-      chains_[chain].adjuster->prospective(queue_.now(), difficulty_[chain]);
+      chains_[chain].adjuster->prospective(sim_now(), difficulty_[chain]);
   const double rate = mass_[chain] / difficulty;  // blocks per hour
-  const double at = queue_.now() + rng_.exponential(rate);
+  const double at = sim_now() + rng_.exponential(rate);
+  if (flat_) {
+    core_.schedule(at, sim::EventType::kBlockFound,
+                   static_cast<std::uint32_t>(chain));
+    return;
+  }
   const std::uint64_t gen = generation_[chain];
   queue_.schedule(at, [this, chain, gen] {
     if (gen != generation_[chain]) return;  // stale race: hashrate changed
@@ -69,28 +87,46 @@ void MultiChainSimulator::arm_block_race(std::size_t chain) {
 
 void MultiChainSimulator::on_block(std::size_t chain) {
   const ChainSpec& spec = chains_[chain];
+  ++result_.events_dispatched;
   ++result_.blocks_per_chain[chain];
 
   // Winner lottery ∝ power among the chain's miners; simultaneously accrue
-  // the proportional-split prediction the paper's model assumes.
+  // the proportional-split prediction the paper's model assumes. The flat
+  // engine walks the chain's member list, the legacy engine scans every
+  // miner — both visit the members in ascending miner order, so the
+  // floating-point accumulation and the lottery are bit-identical.
   const double ticket = rng_.uniform01() * mass_[chain];
   double acc = 0.0;
   std::size_t winner = powers_.size();
-  for (std::size_t i = 0; i < powers_.size(); ++i) {
-    if (assignment_[i] != chain) continue;
-    predicted_rewards_[i] +=
-        reward_fiat_[chain] * powers_[i] / mass_[chain];
-    if (winner == powers_.size()) {
-      acc += powers_[i];
-      if (ticket < acc) winner = i;
+  if (flat_) {
+    for (const std::uint32_t i : members_[chain]) {
+      predicted_rewards_[i] += reward_fiat_[chain] * powers_[i] / mass_[chain];
+      if (winner == powers_.size()) {
+        acc += powers_[i];
+        if (ticket < acc) winner = i;
+      }
     }
-  }
-  if (winner == powers_.size()) {
-    // Numeric edge (ticket == mass): award the last member.
-    for (std::size_t i = powers_.size(); i-- > 0;) {
-      if (assignment_[i] == chain) {
-        winner = i;
-        break;
+    if (winner == powers_.size() && !members_[chain].empty()) {
+      // Numeric edge (ticket == mass): award the last member.
+      winner = members_[chain].back();
+    }
+  } else {
+    for (std::size_t i = 0; i < powers_.size(); ++i) {
+      if (assignment_[i] != chain) continue;
+      predicted_rewards_[i] +=
+          reward_fiat_[chain] * powers_[i] / mass_[chain];
+      if (winner == powers_.size()) {
+        acc += powers_[i];
+        if (ticket < acc) winner = i;
+      }
+    }
+    if (winner == powers_.size()) {
+      // Numeric edge (ticket == mass): award the last member.
+      for (std::size_t i = powers_.size(); i-- > 0;) {
+        if (assignment_[i] == chain) {
+          winner = i;
+          break;
+        }
       }
     }
   }
@@ -98,7 +134,7 @@ void MultiChainSimulator::on_block(std::size_t chain) {
   result_.miner_rewards_fiat[winner] += reward_fiat_[chain];
   ++result_.miner_blocks[winner];
 
-  difficulty_[chain] = spec.adjuster->on_block(queue_.now(), difficulty_[chain]);
+  difficulty_[chain] = spec.adjuster->on_block(sim_now(), difficulty_[chain]);
   GOC_ASSERT(difficulty_[chain] > 0.0, "DAA produced nonpositive difficulty");
   arm_block_race(chain);
 }
@@ -121,18 +157,31 @@ void MultiChainSimulator::move_miner(std::size_t miner, std::size_t to_chain) {
   mass_[to_chain] += powers_[miner];
   assignment_[miner] = to_chain;
   ++result_.migrations;
-  // Both races now run at the wrong rate; memorylessness makes a fresh
-  // exponential draw exact.
-  ++generation_[from];
-  ++generation_[to_chain];
+  if (flat_) {
+    const auto id = static_cast<std::uint32_t>(miner);
+    auto& src = members_[from];
+    src.erase(std::lower_bound(src.begin(), src.end(), id));
+    auto& dst = members_[to_chain];
+    dst.insert(std::lower_bound(dst.begin(), dst.end(), id), id);
+    // Both races now run at the wrong rate; memorylessness makes a fresh
+    // exponential draw exact. The core drops the stale races at pop time.
+    core_.invalidate(sim::EventType::kBlockFound,
+                     static_cast<std::uint32_t>(from));
+    core_.invalidate(sim::EventType::kBlockFound,
+                     static_cast<std::uint32_t>(to_chain));
+  } else {
+    ++generation_[from];
+    ++generation_[to_chain];
+  }
   arm_block_race(from);
   arm_block_race(to_chain);
 }
 
 void MultiChainSimulator::decision_epoch() {
+  ++result_.events_dispatched;
   if (reward_hook_) {
     for (std::size_t c = 0; c < chains_.size(); ++c) {
-      const double updated = reward_hook_(c, queue_.now());
+      const double updated = reward_hook_(c, sim_now());
       GOC_ASSERT(updated > 0.0, "reward hook produced a nonpositive reward");
       reward_fiat_[c] = updated;
     }
@@ -156,7 +205,7 @@ void MultiChainSimulator::decision_epoch() {
         // the next block would face (incl. prospective EDA discounts).
         const auto myopic_value = [&](std::size_t c) {
           const double d =
-              chains_[c].adjuster->prospective(queue_.now(), difficulty_[c]);
+              chains_[c].adjuster->prospective(sim_now(), difficulty_[c]);
           return reward_fiat_[c] / d;
         };
         // Hysteresis models switching friction: stay unless an alternative
@@ -178,7 +227,7 @@ void MultiChainSimulator::decision_epoch() {
 
   if (options_.record_timeline) {
     TimelinePoint point;
-    point.t_hours = queue_.now();
+    point.t_hours = sim_now();
     point.difficulty = difficulty_;
     point.hashrate = mass_;
     point.blocks = result_.blocks_per_chain;
@@ -186,16 +235,39 @@ void MultiChainSimulator::decision_epoch() {
     result_.timeline.push_back(std::move(point));
   }
 
-  const double next = queue_.now() + options_.decision_interval_hours;
+  const double next = sim_now() + options_.decision_interval_hours;
   if (next <= options_.duration_hours) {
-    queue_.schedule(next, [this] { decision_epoch(); });
+    if (flat_) {
+      core_.schedule(next, sim::EventType::kDecisionEpoch, 0);
+    } else {
+      queue_.schedule(next, [this] { decision_epoch(); });
+    }
   }
 }
 
 ChainSimResult MultiChainSimulator::run() {
   for (std::size_t c = 0; c < chains_.size(); ++c) arm_block_race(c);
-  queue_.schedule(options_.decision_interval_hours, [this] { decision_epoch(); });
-  queue_.run_until(options_.duration_hours);
+  if (flat_) {
+    core_.schedule(options_.decision_interval_hours,
+                   sim::EventType::kDecisionEpoch, 0);
+    sim::Event event;
+    while (core_.pop_until(event, options_.duration_hours)) {
+      switch (event.type) {
+        case sim::EventType::kBlockFound:
+          on_block(event.subject);
+          break;
+        case sim::EventType::kDecisionEpoch:
+          decision_epoch();
+          break;
+        default:
+          GOC_ASSERT(false, "unexpected event type in the chain simulator");
+      }
+    }
+  } else {
+    queue_.schedule(options_.decision_interval_hours,
+                    [this] { decision_epoch(); });
+    queue_.run_until(options_.duration_hours);
+  }
 
   // E9 validation: realized vs predicted reward shares.
   double total = 0.0;

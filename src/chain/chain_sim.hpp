@@ -7,6 +7,7 @@
 
 #include "chain/des.hpp"
 #include "chain/difficulty.hpp"
+#include "sim/event_core.hpp"
 #include "util/rng.hpp"
 
 /// \file chain_sim.hpp
@@ -29,6 +30,15 @@
 ///  * kMyopicDifficulty — chase instantaneous per-hash profitability
 ///    reward/D_c (what whattomine-style dashboards report); with an EDA
 ///    chain this produces the famous hashrate sawtooth.
+///
+/// Two event engines drive the same dynamics. The default flat path runs
+/// on `sim::EventCore` (POD events, enum-switch dispatch, generation
+/// invalidation in the core) and keeps a sorted member list per chain so a
+/// block costs O(miners on that chain) instead of O(all miners). The
+/// legacy path (`sim::EngineKind::kLegacy`) is the original
+/// `chain::EventQueue` implementation, kept as the reference: both paths
+/// consume the RNG identically and produce **bit-identical trajectories**
+/// (`tests/test_sim.cpp`, `bench_des --compare-scan`).
 
 namespace goc::chain {
 
@@ -54,6 +64,8 @@ struct ChainSimOptions {
   std::uint64_t seed = 42;
   /// Record a timeline sample at every decision epoch.
   bool record_timeline = true;
+  /// Flat event core (default) or the legacy callback queue (reference).
+  sim::EngineKind engine = sim::EngineKind::kFlat;
 };
 
 /// Recomputes a chain's fiat block reward at a decision epoch — the
@@ -80,6 +92,10 @@ struct ChainSimResult {
   /// predicted share (the E9 validation number).
   double share_prediction_mae = 0.0;
   std::uint64_t migrations = 0;  ///< total miner moves across the run
+  /// Live events dispatched (blocks + decision epochs; stale races are
+  /// skipped before dispatch on both engines). The throughput denominator
+  /// of `bench_des`.
+  std::uint64_t events_dispatched = 0;
 };
 
 class MultiChainSimulator {
@@ -97,6 +113,7 @@ class MultiChainSimulator {
   ChainSimResult run();
 
  private:
+  double sim_now() const noexcept;
   void arm_block_race(std::size_t chain);
   void on_block(std::size_t chain);
   void decision_epoch();
@@ -107,13 +124,19 @@ class MultiChainSimulator {
   std::vector<ChainSpec> chains_;
   ChainSimOptions options_;
   Rng rng_;
+  bool flat_;  // options_.engine == kFlat, hoisted for the hot loops
 
-  EventQueue queue_;
+  sim::EventCore core_;                     // flat engine
+  EventQueue queue_;                        // legacy engine
   std::vector<std::size_t> assignment_;     // miner -> chain
+  // Flat engine only: per-chain member lists, ascending miner index —
+  // keeps the winner lottery and prediction accrual at O(chain members)
+  // while iterating in exactly the legacy full-scan order.
+  std::vector<std::vector<std::uint32_t>> members_;
   std::vector<double> mass_;                // per chain
   std::vector<double> difficulty_;          // per chain
   std::vector<double> reward_fiat_;         // per chain (hook-updated)
-  std::vector<std::uint64_t> generation_;   // block-race invalidation
+  std::vector<std::uint64_t> generation_;   // legacy block-race invalidation
   RewardHook reward_hook_;                  // optional price coupling
   ChainSimResult result_;
   // Accumulated (power-share × chain reward) prediction per miner.

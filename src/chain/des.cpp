@@ -1,5 +1,6 @@
 #include "chain/des.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace goc::chain {
@@ -7,15 +8,15 @@ namespace goc::chain {
 void EventQueue::schedule(double time, Callback fn) {
   GOC_CHECK_ARG(time >= now_, "cannot schedule events in the past");
   GOC_CHECK_ARG(fn != nullptr, "cannot schedule a null callback");
-  queue_.push(Item{time, next_seq_++, std::move(fn)});
+  queue_.push_back(Item{time, next_seq_++, std::move(fn)});
+  std::push_heap(queue_.begin(), queue_.end(), Later{});
 }
 
 bool EventQueue::run_next() {
   if (queue_.empty()) return false;
-  // priority_queue::top is const; the callback is moved out via const_cast,
-  // which is safe because the element is popped immediately after.
-  Item item = std::move(const_cast<Item&>(queue_.top()));
-  queue_.pop();
+  std::pop_heap(queue_.begin(), queue_.end(), Later{});
+  Item item = std::move(queue_.back());
+  queue_.pop_back();
   now_ = item.time;
   item.fn();
   return true;
@@ -23,14 +24,12 @@ bool EventQueue::run_next() {
 
 void EventQueue::run_until(double t_end) {
   GOC_CHECK_ARG(t_end >= now_, "cannot run backwards");
-  while (!queue_.empty() && queue_.top().time <= t_end) {
+  while (!queue_.empty() && queue_.front().time <= t_end) {
     run_next();
   }
   now_ = t_end;
 }
 
-void EventQueue::clear() {
-  while (!queue_.empty()) queue_.pop();
-}
+void EventQueue::clear() { queue_.clear(); }
 
 }  // namespace goc::chain

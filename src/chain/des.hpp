@@ -2,18 +2,25 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 #include "util/assert.hpp"
 
 /// \file des.hpp
-/// A minimal discrete-event simulation engine: a time-ordered queue of
-/// callbacks with FIFO tie-breaking. The chain simulator runs block races
-/// and miner decision epochs on it; stale events (e.g. a block race whose
-/// rate changed when miners migrated) are handled by generation counters at
-/// the call site — the exponential race is memoryless, so resampling after
-/// an invalidation is statistically exact.
+/// The legacy discrete-event engine: a time-ordered queue of callbacks
+/// with FIFO tie-breaking. Stale events (e.g. a block race whose rate
+/// changed when miners migrated) are handled by generation counters at the
+/// call site — the exponential race is memoryless, so resampling after an
+/// invalidation is statistically exact.
+///
+/// This is the *reference* path: the simulators' hot loops run on the flat
+/// `sim::EventCore` (POD events, enum-switch dispatch, built-in
+/// invalidation), and this queue survives — selectable via
+/// `sim::EngineKind::kLegacy` — so trajectory bit-equality between the two
+/// engines stays checkable (`bench_des --compare-scan`,
+/// `tests/test_sim.cpp`). The heap is an explicit `std::push_heap` /
+/// `std::pop_heap` over a vector: popping moves the callback out of a
+/// mutable element instead of `const_cast`ing `priority_queue::top()`.
 
 namespace goc::chain {
 
@@ -51,7 +58,8 @@ class EventQueue {
     }
   };
 
-  std::priority_queue<Item, std::vector<Item>, Later> queue_;
+  /// Binary max-heap under `Later` (so the *earliest* item is at front).
+  std::vector<Item> queue_;
   double now_ = 0.0;
   std::uint64_t next_seq_ = 0;
 };

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/assert.hpp"
+#include "util/fnv.hpp"
 
 namespace goc {
 
@@ -86,10 +87,9 @@ bool Configuration::operator==(const Configuration& other) const {
 }
 
 std::size_t Configuration::hash() const noexcept {
-  std::size_t h = 0xcbf29ce484222325ULL;
+  std::uint64_t h = fnv::kOffset;
   for (const CoinId c : assignment_) {
-    h ^= c.value;
-    h *= 0x100000001b3ULL;
+    fnv::mix_word(h, c.value);
   }
   return h;
 }

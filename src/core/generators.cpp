@@ -74,30 +74,37 @@ std::vector<Rational> draw_rewards(const GameSpec& spec, Rng& rng) {
 
 }  // namespace
 
-std::string power_shape_name(PowerShape shape) {
+const std::string& power_shape_name(PowerShape shape) {
+  // Interned: emission layers stamp these onto every record row, so the
+  // labels are shared statics rather than per-call allocations.
+  static const std::string kEqual = "equal", kUniform = "uniform",
+                           kZipf = "zipf", kPareto = "pareto",
+                           kUnknown = "unknown";
   switch (shape) {
     case PowerShape::kEqual:
-      return "equal";
+      return kEqual;
     case PowerShape::kUniform:
-      return "uniform";
+      return kUniform;
     case PowerShape::kZipf:
-      return "zipf";
+      return kZipf;
     case PowerShape::kPareto:
-      return "pareto";
+      return kPareto;
   }
-  return "unknown";
+  return kUnknown;
 }
 
-std::string reward_shape_name(RewardShape shape) {
+const std::string& reward_shape_name(RewardShape shape) {
+  static const std::string kEqual = "equal", kUniform = "uniform",
+                           kMajors = "majors", kUnknown = "unknown";
   switch (shape) {
     case RewardShape::kEqual:
-      return "equal";
+      return kEqual;
     case RewardShape::kUniform:
-      return "uniform";
+      return kUniform;
     case RewardShape::kMajors:
-      return "majors";
+      return kMajors;
   }
-  return "unknown";
+  return kUnknown;
 }
 
 std::string GameSpec::to_string() const {

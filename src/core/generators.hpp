@@ -33,10 +33,13 @@ enum class RewardShape {
 };
 
 /// Stable identifier for tables/CSV ("equal", "uniform", "zipf", "pareto").
-std::string power_shape_name(PowerShape shape);
+/// Returns an interned static — record emission stamps these onto every
+/// row, so no per-call allocation.
+const std::string& power_shape_name(PowerShape shape);
 
 /// Stable identifier for tables/CSV ("equal", "uniform", "majors").
-std::string reward_shape_name(RewardShape shape);
+/// Interned like `power_shape_name`.
+const std::string& reward_shape_name(RewardShape shape);
 
 struct GameSpec {
   std::size_t num_miners = 10;

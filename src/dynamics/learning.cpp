@@ -7,6 +7,7 @@
 #include "potential/list_potential.hpp"
 #include "potential/observations.hpp"
 #include "util/assert.hpp"
+#include "util/fnv.hpp"
 
 namespace goc {
 
@@ -14,13 +15,9 @@ namespace {
 
 /// FNV-1a over the identifying fields of a move (gain is derived).
 void hash_move(std::uint64_t& h, const Move& move) {
-  const auto mix = [&h](std::uint64_t v) {
-    h ^= v;
-    h *= 0x100000001b3ULL;
-  };
-  mix(move.miner.value);
-  mix(move.from.value);
-  mix(move.to.value);
+  fnv::mix_word(h, move.miner.value);
+  fnv::mix_word(h, move.from.value);
+  fnv::mix_word(h, move.to.value);
 }
 
 }  // namespace

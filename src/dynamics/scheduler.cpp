@@ -240,8 +240,23 @@ const std::vector<SchedulerKind>& all_scheduler_kinds() {
   return kinds;
 }
 
-std::string scheduler_kind_name(SchedulerKind kind) {
-  return make_scheduler(kind)->name();
+const std::string& scheduler_kind_name(SchedulerKind kind) {
+  // Interned: derived from Scheduler::name() once at first use instead of
+  // constructing a scheduler object per call. Indexed by enum value (no
+  // ordering assumption on all_scheduler_kinds()).
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    for (const SchedulerKind k : all_scheduler_kinds()) {
+      const auto index = static_cast<std::size_t>(k);
+      if (names.size() <= index) names.resize(index + 1);
+      names[index] = make_scheduler(k)->name();
+    }
+    return names;
+  }();
+  const auto index = static_cast<std::size_t>(kind);
+  GOC_ASSERT(index < kNames.size() && !kNames[index].empty(),
+             "unknown scheduler kind");
+  return kNames[index];
 }
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind, std::uint64_t seed) {

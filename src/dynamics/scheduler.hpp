@@ -82,8 +82,10 @@ enum class SchedulerKind {
 /// All kinds, for sweep loops.
 const std::vector<SchedulerKind>& all_scheduler_kinds();
 
-/// Display name of a kind (matches Scheduler::name()).
-std::string scheduler_kind_name(SchedulerKind kind);
+/// Display name of a kind (matches Scheduler::name()). Returns an interned
+/// static — the old implementation constructed a whole scheduler object
+/// per call, which emission layers paid once per record row.
+const std::string& scheduler_kind_name(SchedulerKind kind);
 
 /// Factory. `seed` feeds the randomized kinds and is ignored by
 /// deterministic ones.

@@ -176,36 +176,47 @@ Table SweepResult::to_table() const {
 }
 
 std::string SweepResult::to_csv(bool include_timing) const {
-  Table table = [&] {
-    std::vector<std::string> headers = {
-        "grid_index",  "trial",          "miners",
-        "coins",       "powers",         "rewards",
-        "scheduler",   "game_seed",      "scheduler_seed",
-        "steps",       "converged",      "move_hash",
-        "welfare_efficiency",
-        "rpu_fairness", "dom_share",     "majority_controlled",
-        "occupied_coins"};
-    if (include_timing) headers.push_back("wall_ms");
-    return Table(std::move(headers));
-  }();
+  // Streamed straight into the output buffer: no intermediate Table (a
+  // vector-of-string-vectors materializing ~17 cells per record), and the
+  // label columns come from the interned shape/scheduler names. Cells are
+  // numbers and interned identifiers, so no RFC-4180 quoting can trigger.
+  std::string out;
+  out.reserve(192 * (records_.size() + 1));
+  out +=
+      "grid_index,trial,miners,coins,powers,rewards,scheduler,game_seed,"
+      "scheduler_seed,steps,converged,move_hash,welfare_efficiency,"
+      "rpu_fairness,dom_share,majority_controlled,occupied_coins";
+  if (include_timing) out += ",wall_ms";
+  out += "\n";
+  const auto add = [&out](const std::string& cell) {
+    out += cell;
+    out += ',';
+  };
   for (const SweepRecord& r : records_) {
-    auto row = table.row();
-    row << std::uint64_t(r.task.grid_index) << std::uint64_t(r.task.trial)
-        << std::uint64_t(r.task.game_spec.num_miners)
-        << std::uint64_t(r.task.game_spec.num_coins)
-        << power_shape_name(r.task.game_spec.power_shape)
-        << reward_shape_name(r.task.game_spec.reward_shape)
-        << scheduler_kind_name(r.task.scheduler)
-        << std::uint64_t(r.task.game_seed)
-        << std::uint64_t(r.task.scheduler_seed) << std::uint64_t(r.steps)
-        << (r.converged ? "1" : "0") << std::uint64_t(r.move_hash)
-        << fmt_double(r.welfare_efficiency, 6)
-        << fmt_double(r.rpu_fairness, 6) << fmt_double(r.max_domination_share, 6)
-        << std::uint64_t(r.majority_controlled)
-        << std::uint64_t(r.occupied_coins);
-    if (include_timing) row << fmt_double(r.wall_ms, 3);
+    add(std::to_string(r.task.grid_index));
+    add(std::to_string(r.task.trial));
+    add(std::to_string(r.task.game_spec.num_miners));
+    add(std::to_string(r.task.game_spec.num_coins));
+    add(power_shape_name(r.task.game_spec.power_shape));
+    add(reward_shape_name(r.task.game_spec.reward_shape));
+    add(scheduler_kind_name(r.task.scheduler));
+    add(std::to_string(r.task.game_seed));
+    add(std::to_string(r.task.scheduler_seed));
+    add(std::to_string(r.steps));
+    add(r.converged ? "1" : "0");
+    add(std::to_string(r.move_hash));
+    add(fmt_double(r.welfare_efficiency, 6));
+    add(fmt_double(r.rpu_fairness, 6));
+    add(fmt_double(r.max_domination_share, 6));
+    add(std::to_string(r.majority_controlled));
+    out += std::to_string(r.occupied_coins);
+    if (include_timing) {
+      out += ',';
+      out += fmt_double(r.wall_ms, 3);
+    }
+    out += "\n";
   }
-  return table.to_csv();
+  return out;
 }
 
 std::string SweepResult::to_json(bool include_timing) const {

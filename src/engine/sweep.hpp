@@ -156,9 +156,11 @@ class SweepResult {
   /// Per-point summary table (the paper-style rows).
   Table to_table() const;
 
-  /// Per-record CSV. Pass `include_timing = false` to drop the
-  /// nondeterministic wall-time column, making the output bit-identical
-  /// across thread counts.
+  /// Per-record CSV, streamed into a single buffer (interned label
+  /// columns; strings materialize only here, never in the sweep hot
+  /// path). Pass `include_timing = false` to drop the nondeterministic
+  /// wall-time column, making the output bit-identical across thread
+  /// counts.
   std::string to_csv(bool include_timing = true) const;
 
   /// Per-record JSON array with a sweep-level header object; pass

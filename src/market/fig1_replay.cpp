@@ -85,6 +85,7 @@ Fig1ReplayResult run_fig1_replay(const Fig1ReplayParams& params) {
   options.reevaluation_fraction = params.reevaluation_fraction;
   options.myopic_hysteresis = params.hysteresis;
   options.seed = params.seed ^ 0xF161;
+  options.engine = params.engine;
 
   chain::MultiChainSimulator sim(std::move(powers), std::move(chains), options,
                                  std::move(assignment));
@@ -136,6 +137,31 @@ Fig1ReplayResult run_fig1_replay(const Fig1ReplayParams& params) {
   if (flip_n > 0) result.flip_window_share = flip_sum / static_cast<double>(flip_n);
   if (post_n > 0) result.post_revert_share = post_sum / static_cast<double>(post_n);
   return result;
+}
+
+const std::vector<std::string>& fig1_replay_metrics() {
+  static const std::vector<std::string> kNames = {
+      "peak_minor_share", "peak_day",          "pre_shock_share",
+      "flip_window_share", "post_revert_share", "migrations"};
+  return kNames;
+}
+
+sim::TrajectoryBatchResult run_fig1_replay_batch(
+    const Fig1ReplayParams& params,
+    const sim::TrajectoryBatchOptions& options) {
+  return sim::run_trajectory_batch(
+      fig1_replay_metrics(), options,
+      [&params](std::size_t, std::uint64_t seed) {
+        Fig1ReplayParams replica = params;
+        replica.seed = seed;
+        const Fig1ReplayResult r = run_fig1_replay(replica);
+        return std::vector<double>{r.peak_minor_share,
+                                   r.peak_day,
+                                   r.pre_shock_share,
+                                   r.flip_window_share,
+                                   r.post_revert_share,
+                                   static_cast<double>(r.migrations)};
+      });
 }
 
 }  // namespace goc::market

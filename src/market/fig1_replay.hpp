@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "chain/chain_sim.hpp"
+#include "sim/trajectory.hpp"
 
 /// \file fig1_replay.hpp
 /// High-fidelity Figure 1b replay: price shocks × chain-level dynamics.
@@ -37,6 +38,8 @@ struct Fig1ReplayParams {
   /// Relative profitability margin required to switch (friction).
   double hysteresis = 0.08;
   std::uint64_t seed = 1711;
+  /// Event engine for the underlying chain simulator (legacy = reference).
+  sim::EngineKind engine = sim::EngineKind::kFlat;
 };
 
 struct Fig1ReplayPoint {
@@ -64,5 +67,16 @@ struct Fig1ReplayResult {
 /// Runs the coupled replay. Chain 0 = major (fixed-window DAA), chain 1 =
 /// minor (EDA). Deterministic for a fixed seed.
 Fig1ReplayResult run_fig1_replay(const Fig1ReplayParams& params = {});
+
+/// Metric names of `run_fig1_replay_batch` rows.
+const std::vector<std::string>& fig1_replay_metrics();
+
+/// Monte Carlo over the replay: R replicas with per-replica seeds derived
+/// from `options.root_seed` (`params.seed` is overridden), fanned across
+/// the thread pool; reports {peak_minor_share, peak_day, pre_shock_share,
+/// flip_window_share, post_revert_share, migrations} with mean/CI —
+/// bit-identical at any thread count.
+sim::TrajectoryBatchResult run_fig1_replay_batch(
+    const Fig1ReplayParams& params, const sim::TrajectoryBatchOptions& options);
 
 }  // namespace goc::market

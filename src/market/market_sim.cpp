@@ -60,32 +60,28 @@ const Game& MarketSimulator::current_game() const {
   return *game_;
 }
 
-EpochRecord MarketSimulator::step_epoch(double t_hours) {
-  EpochRecord record;
-  record.t_hours = t_hours;
-  record.prices.resize(coins_.size());
-  record.weights.resize(coins_.size());
-  record.hashrate_share.resize(coins_.size());
+void MarketSimulator::step_coin_price(std::size_t c, EpochRecord& record) {
+  record.prices[c] = coins_[c].price->step(options_.epoch_hours, rng_);
+}
 
-  // 1. Advance prices, accrue + collect fees, derive weights.
-  std::vector<Rational> weights(coins_.size());
-  for (std::size_t c = 0; c < coins_.size(); ++c) {
-    CoinSpec& coin = coins_[c];
-    const double price = coin.price->step(options_.epoch_hours, rng_);
-    coin.fees.accrue(options_.epoch_hours, rng_);
-    const double fees_native = coin.fees.collect();
-    const double subsidy_native =
-        coin.block_subsidy * coin.blocks_per_hour * options_.epoch_hours;
-    const double weight_fiat = (subsidy_native + fees_native) * price;
-    record.prices[c] = price;
-    record.weights[c] = weight_fiat;
-    // Quantize at the boundary; weights must stay positive for the game.
-    const double clamped = std::max(weight_fiat, 1e-9);
-    weights[c] = Rational::from_double(clamped, options_.weight_denominator);
-    if (!weights[c].is_positive()) weights[c] = Rational(1, 1000000);
-  }
+void MarketSimulator::step_coin_fees(std::size_t c, EpochRecord& record,
+                                     std::vector<Rational>& weights) {
+  CoinSpec& coin = coins_[c];
+  coin.fees.accrue(options_.epoch_hours, rng_);
+  const double fees_native = coin.fees.collect();
+  const double subsidy_native =
+      coin.block_subsidy * coin.blocks_per_hour * options_.epoch_hours;
+  const double weight_fiat = (subsidy_native + fees_native) * record.prices[c];
+  record.weights[c] = weight_fiat;
+  // Quantize at the boundary; weights must stay positive for the game.
+  const double clamped = std::max(weight_fiat, 1e-9);
+  weights[c] = Rational::from_double(clamped, options_.weight_denominator);
+  if (!weights[c].is_positive()) weights[c] = Rational(1, 1000000);
+}
 
-  // 2. Induced game and partial better-response adjustment.
+void MarketSimulator::finish_epoch(EpochRecord& record,
+                                   std::vector<Rational>& weights) {
+  // Induced game and partial better-response adjustment.
   game_ = std::make_unique<Game>(system_, RewardFunction(std::move(weights)));
   const std::uint64_t cap = options_.br_steps_per_epoch == 0
                                 ? UINT64_MAX
@@ -100,16 +96,86 @@ EpochRecord MarketSimulator::step_epoch(double t_hours) {
   record.br_steps = steps;
   record.at_equilibrium = is_equilibrium(*game_, config_);
 
-  // 3. Hashrate shares.
+  // Hashrate shares.
   const double total = system_->total_power().to_double();
   for (std::size_t c = 0; c < coins_.size(); ++c) {
     record.hashrate_share[c] =
         config_.mass(CoinId(static_cast<std::uint32_t>(c))).to_double() / total;
   }
+}
+
+EpochRecord MarketSimulator::step_epoch(double t_hours) {
+  EpochRecord record;
+  record.t_hours = t_hours;
+  record.prices.resize(coins_.size());
+  record.weights.resize(coins_.size());
+  record.hashrate_share.resize(coins_.size());
+
+  std::vector<Rational> weights(coins_.size());
+  for (std::size_t c = 0; c < coins_.size(); ++c) {
+    step_coin_price(c, record);
+    step_coin_fees(c, record, weights);
+  }
+  finish_epoch(record, weights);
   return record;
 }
 
+std::vector<EpochRecord> MarketSimulator::run_flat() {
+  sim::EventCore core;
+  core.declare_streams(sim::EventType::kPriceTick, coins_.size());
+  core.declare_streams(sim::EventType::kFeeUpdate, coins_.size());
+  core.declare_streams(sim::EventType::kDecisionEpoch, 1);
+
+  std::vector<EpochRecord> records;
+  if (options_.epochs == 0) return records;  // match the legacy no-op run
+  records.reserve(options_.epochs);
+  std::vector<Rational> weights(coins_.size());
+  EpochRecord record;  // the epoch under assembly; reused across epochs
+  record.prices.resize(coins_.size());
+  record.weights.resize(coins_.size());
+  record.hashrate_share.resize(coins_.size());
+
+  // Schedules epoch e's events: per coin a price tick then a fee update
+  // (FIFO tie-breaking preserves exactly the legacy per-coin order), then
+  // the decision epoch.
+  const auto schedule_epoch = [&](std::size_t e) {
+    const double t = static_cast<double>(e + 1) * options_.epoch_hours;
+    for (std::size_t c = 0; c < coins_.size(); ++c) {
+      core.schedule(t, sim::EventType::kPriceTick,
+                    static_cast<std::uint32_t>(c));
+      core.schedule(t, sim::EventType::kFeeUpdate,
+                    static_cast<std::uint32_t>(c));
+    }
+    core.schedule(t, sim::EventType::kDecisionEpoch, 0);
+  };
+  schedule_epoch(0);
+
+  sim::Event event;
+  while (core.pop(event)) {
+    switch (event.type) {
+      case sim::EventType::kPriceTick:
+        step_coin_price(event.subject, record);
+        break;
+      case sim::EventType::kFeeUpdate:
+        step_coin_fees(event.subject, record, weights);
+        break;
+      case sim::EventType::kDecisionEpoch: {
+        record.t_hours = core.now();
+        finish_epoch(record, weights);
+        records.push_back(record);
+        weights.assign(coins_.size(), Rational());  // moved-from: re-arm
+        if (records.size() < options_.epochs) schedule_epoch(records.size());
+        break;
+      }
+      default:
+        GOC_ASSERT(false, "unexpected event type in the market simulator");
+    }
+  }
+  return records;
+}
+
 std::vector<EpochRecord> MarketSimulator::run() {
+  if (options_.engine == sim::EngineKind::kFlat) return run_flat();
   std::vector<EpochRecord> records;
   records.reserve(options_.epochs);
   for (std::size_t e = 0; e < options_.epochs; ++e) {

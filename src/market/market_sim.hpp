@@ -9,6 +9,7 @@
 #include "dynamics/scheduler.hpp"
 #include "market/fee_market.hpp"
 #include "market/price_process.hpp"
+#include "sim/event_core.hpp"
 
 /// \file market_sim.hpp
 /// The multi-coin market simulator — the substrate for experiment E1/E2
@@ -27,6 +28,14 @@
 ///
 /// The output time series are exactly what Figure 1 plots: exchange rates
 /// (1a) and per-coin hashrate (1b).
+///
+/// The default engine decomposes each epoch into flat `sim::EventCore`
+/// events — one kPriceTick and one kFeeUpdate per coin, then one
+/// kDecisionEpoch — dispatched by enum switch; the legacy plain epoch loop
+/// (`sim::EngineKind::kLegacy`) is retained as the reference. Both paths
+/// call the same per-coin sub-steps in the same order, so they consume the
+/// RNG identically and the epoch records are bit-identical
+/// (`tests/test_sim.cpp`, `bench_des --compare-scan`).
 
 namespace goc::market {
 
@@ -57,6 +66,8 @@ struct MarketOptions {
   std::uint64_t seed = 2021;
   /// Weight quantization denominator for Rational::from_double.
   std::uint64_t weight_denominator = 1u << 20;
+  /// Flat event core (default) or the legacy epoch loop (reference).
+  sim::EngineKind engine = sim::EngineKind::kFlat;
 };
 
 /// One epoch of recorded market state.
@@ -93,7 +104,16 @@ class MarketSimulator {
   const Game& current_game() const;
 
  private:
+  // One epoch = advance every coin's price, accrue its fees / derive its
+  // weight, then let the game adjust. The legacy loop calls the sub-steps
+  // inline; the flat engine dispatches them as kPriceTick / kFeeUpdate /
+  // kDecisionEpoch events — identical call order, identical RNG draws.
+  void step_coin_price(std::size_t c, EpochRecord& record);
+  void step_coin_fees(std::size_t c, EpochRecord& record,
+                      std::vector<Rational>& weights);
+  void finish_epoch(EpochRecord& record, std::vector<Rational>& weights);
   EpochRecord step_epoch(double t_hours);
+  std::vector<EpochRecord> run_flat();
 
   std::shared_ptr<const System> system_;
   std::vector<CoinSpec> coins_;

@@ -1,0 +1,231 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "engine/sweep.hpp"
+#include "engine/thread_pool.hpp"
+#include "util/assert.hpp"
+#include "util/fnv.hpp"
+
+namespace goc::sim {
+
+TrajectoryBatchResult::TrajectoryBatchResult(
+    std::vector<std::string> metric_names, std::size_t replicas,
+    std::vector<double> values, std::uint64_t root_seed)
+    : names_(std::move(metric_names)),
+      replicas_(replicas),
+      root_seed_(root_seed),
+      values_(std::move(values)) {
+  GOC_CHECK_ARG(!names_.empty(), "a batch needs at least one metric");
+  GOC_CHECK_ARG(values_.size() == replicas_ * names_.size(),
+                "value matrix arity mismatch");
+  // Welford in replica order: the summaries are a pure function of the
+  // value matrix, so they inherit its thread-count invariance.
+  summaries_.resize(names_.size());
+  for (std::size_t m = 0; m < names_.size(); ++m) {
+    MetricSummary& s = summaries_[m];
+    s.name = names_[m];
+    s.replicas = replicas_;
+    double mean = 0.0, m2 = 0.0;
+    for (std::size_t r = 0; r < replicas_; ++r) {
+      const double x = value(r, m);
+      if (r == 0) {
+        s.min = s.max = x;
+      } else {
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+      }
+      const double delta = x - mean;
+      mean += delta / static_cast<double>(r + 1);
+      m2 += delta * (x - mean);
+    }
+    s.mean = mean;
+    if (replicas_ > 1) {
+      s.variance = m2 / static_cast<double>(replicas_ - 1);
+      s.stddev = std::sqrt(s.variance);
+      s.ci95_halfwidth = 1.959963984540054 * s.stddev /
+                         std::sqrt(static_cast<double>(replicas_));
+    }
+  }
+}
+
+const MetricSummary& TrajectoryBatchResult::summary(
+    const std::string& name) const {
+  for (const MetricSummary& s : summaries_) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("unknown metric name: " + name);
+}
+
+std::uint64_t TrajectoryBatchResult::values_hash() const noexcept {
+  std::uint64_t h = fnv::kOffset;
+  for (const double v : values_) fnv::mix_bytes(h, v);
+  return h;
+}
+
+Table TrajectoryBatchResult::to_table(int precision) const {
+  Table table({"metric", "mean", "ci95", "sd", "min", "max", "replicas"});
+  for (const MetricSummary& s : summaries_) {
+    table.row() << s.name << fmt_double(s.mean, precision)
+                << fmt_double(s.ci95_halfwidth, precision)
+                << fmt_double(s.stddev, precision)
+                << fmt_double(s.min, precision) << fmt_double(s.max, precision)
+                << std::uint64_t(s.replicas);
+  }
+  return table;
+}
+
+bool TrajectoryBatchResult::deterministic_equals(
+    const TrajectoryBatchResult& other) const {
+  if (names_ != other.names_ || replicas_ != other.replicas_ ||
+      values_.size() != other.values_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (std::bit_cast<std::uint64_t>(values_[i]) !=
+        std::bit_cast<std::uint64_t>(other.values_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TrajectoryBatchResult run_trajectory_batch(
+    std::vector<std::string> metric_names,
+    const TrajectoryBatchOptions& options,
+    const std::function<std::vector<double>(std::size_t replica,
+                                            std::uint64_t seed)>& replica) {
+  GOC_CHECK_ARG(options.replicas >= 1, "a batch needs at least one replica");
+  GOC_CHECK_ARG(replica != nullptr, "a batch needs a replica function");
+  const std::size_t metrics = metric_names.size();
+  GOC_CHECK_ARG(metrics >= 1, "a batch needs at least one metric");
+
+  std::vector<double> values(options.replicas * metrics, 0.0);
+  const auto run_all = [&](engine::ThreadPool& pool) {
+    pool.parallel_for(options.replicas, [&](std::size_t r) {
+      const std::uint64_t seed = engine::task_seed(options.root_seed, r, 0);
+      const std::vector<double> row = replica(r, seed);
+      GOC_CHECK_ARG(row.size() == metrics,
+                    "replica returned the wrong number of metrics");
+      std::copy(row.begin(), row.end(), values.begin() + r * metrics);
+    });
+  };
+  if (options.pool != nullptr) {
+    run_all(*options.pool);
+  } else {
+    const std::size_t lanes =
+        engine::ThreadPool::resolve_lanes(options.threads);
+    engine::ThreadPool pool(engine::ThreadPool::workers_for(lanes));
+    run_all(pool);
+  }
+  return TrajectoryBatchResult(std::move(metric_names), options.replicas,
+                               std::move(values), options.root_seed);
+}
+
+// ------------------------------------------------------- simulator adapters
+
+const std::vector<std::string>& chain_batch_metrics() {
+  static const std::vector<std::string> kNames = {
+      "blocks_total", "blocks_share_chain0", "migrations", "share_mae",
+      "reward_total_fiat"};
+  return kNames;
+}
+
+TrajectoryBatchResult run_chain_batch(
+    const std::function<chain::MultiChainSimulator(std::uint64_t seed)>&
+        make_replica,
+    const TrajectoryBatchOptions& options) {
+  GOC_CHECK_ARG(make_replica != nullptr, "chain batch needs a factory");
+  return run_trajectory_batch(
+      chain_batch_metrics(), options,
+      [&make_replica](std::size_t, std::uint64_t seed) {
+        chain::MultiChainSimulator sim = make_replica(seed);
+        const chain::ChainSimResult result = sim.run();
+        std::uint64_t blocks = 0;
+        for (const std::uint64_t b : result.blocks_per_chain) blocks += b;
+        double reward = 0.0;
+        for (const double r : result.miner_rewards_fiat) reward += r;
+        const double share0 =
+            blocks > 0 ? static_cast<double>(result.blocks_per_chain[0]) /
+                             static_cast<double>(blocks)
+                       : 0.0;
+        return std::vector<double>{
+            static_cast<double>(blocks), share0,
+            static_cast<double>(result.migrations),
+            result.share_prediction_mae, reward};
+      });
+}
+
+const std::vector<std::string>& market_batch_metrics() {
+  static const std::vector<std::string> kNames = {
+      "mean_share_coin0", "final_share_coin0", "equilibrium_fraction",
+      "br_steps_total", "final_price_coin0"};
+  return kNames;
+}
+
+TrajectoryBatchResult run_market_batch(
+    const std::function<market::MarketSimulator(std::uint64_t seed)>&
+        make_replica,
+    const TrajectoryBatchOptions& options) {
+  GOC_CHECK_ARG(make_replica != nullptr, "market batch needs a factory");
+  return run_trajectory_batch(
+      market_batch_metrics(), options,
+      [&make_replica](std::size_t, std::uint64_t seed) {
+        market::MarketSimulator sim = make_replica(seed);
+        const std::vector<market::EpochRecord> records = sim.run();
+        double share_sum = 0.0;
+        double at_eq = 0.0;
+        double steps = 0.0;
+        for (const market::EpochRecord& r : records) {
+          share_sum += r.hashrate_share[0];
+          if (r.at_equilibrium) at_eq += 1.0;
+          steps += static_cast<double>(r.br_steps);
+        }
+        const double n = records.empty()
+                             ? 1.0
+                             : static_cast<double>(records.size());
+        const double final_share =
+            records.empty() ? 0.0 : records.back().hashrate_share[0];
+        const double final_price =
+            records.empty() ? 0.0 : records.back().prices[0];
+        return std::vector<double>{share_sum / n, final_share, at_eq / n,
+                                   steps, final_price};
+      });
+}
+
+// ------------------------------------------------------- trajectory hashes
+
+std::uint64_t chain_result_hash(const chain::ChainSimResult& result) noexcept {
+  std::uint64_t h = fnv::kOffset;
+  for (const std::uint64_t b : result.blocks_per_chain) fnv::mix_bytes(h, b);
+  for (const double r : result.miner_rewards_fiat) fnv::mix_bytes(h, r);
+  for (const std::uint64_t b : result.miner_blocks) fnv::mix_bytes(h, b);
+  fnv::mix_bytes(h, result.share_prediction_mae);
+  fnv::mix_bytes(h, result.migrations);
+  for (const chain::TimelinePoint& p : result.timeline) {
+    fnv::mix_bytes(h, p.t_hours);
+    for (const double d : p.difficulty) fnv::mix_bytes(h, d);
+    for (const double m : p.hashrate) fnv::mix_bytes(h, m);
+    for (const std::uint64_t b : p.blocks) fnv::mix_bytes(h, b);
+    for (const double w : p.reward_fiat) fnv::mix_bytes(h, w);
+  }
+  return h;
+}
+
+std::uint64_t market_records_hash(
+    const std::vector<market::EpochRecord>& records) noexcept {
+  std::uint64_t h = fnv::kOffset;
+  for (const market::EpochRecord& r : records) {
+    fnv::mix_bytes(h, r.t_hours);
+    for (const double p : r.prices) fnv::mix_bytes(h, p);
+    for (const double w : r.weights) fnv::mix_bytes(h, w);
+    for (const double s : r.hashrate_share) fnv::mix_bytes(h, s);
+    fnv::mix_bytes(h, r.br_steps);
+    fnv::mix_bytes(h, r.at_equilibrium ? std::uint64_t{1} : std::uint64_t{0});
+  }
+  return h;
+}
+
+}  // namespace goc::sim

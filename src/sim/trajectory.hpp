@@ -1,0 +1,147 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "chain/chain_sim.hpp"
+#include "market/market_sim.hpp"
+#include "util/table.hpp"
+
+/// \file trajectory.hpp
+/// The batched Monte Carlo trajectory engine — layer 2 of the `sim/`
+/// subsystem.
+///
+/// A stochastic simulator run is a *trajectory*; a study is R independent
+/// replicas of the same scenario under different seeds, summarized per
+/// metric as mean / variance / 95% CI. This layer fans the replicas across
+/// `engine::ThreadPool` with the sweep engine's determinism contract:
+/// replica r's seed is `engine::task_seed(root_seed, r, ·)` — a pure
+/// function of the root seed and the replica index — and every replica
+/// writes its metric vector into a pre-sized slot, so the aggregated
+/// `TrajectoryBatchResult` is **bit-identical at any thread count**
+/// (aggregation itself runs serially in replica order; no atomics, no
+/// completion-order reductions).
+
+namespace goc::engine {
+class ThreadPool;  // engine/thread_pool.hpp
+}
+
+namespace goc::sim {
+
+struct TrajectoryBatchOptions {
+  std::size_t replicas = 32;
+  /// Root of the per-replica seed derivation (engine::task_seed).
+  std::uint64_t root_seed = 2021;
+  /// Total concurrent lanes: 0 = one per hardware thread, 1 = serial
+  /// reference path. Ignored when `pool` is set.
+  std::size_t threads = 0;
+  /// Reuse an existing pool (e.g. the sweep engine's) instead of spawning
+  /// one per batch.
+  engine::ThreadPool* pool = nullptr;
+};
+
+/// Per-metric summary over the replicas (normal-approximation CI).
+struct MetricSummary {
+  std::string name;
+  std::size_t replicas = 0;
+  double mean = 0.0;
+  double variance = 0.0;  ///< sample variance (n−1)
+  double stddev = 0.0;
+  double ci95_halfwidth = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// The outcome of a Monte Carlo batch: the replica×metric value matrix
+/// (replica-major) plus per-metric summaries computed in replica order.
+class TrajectoryBatchResult {
+ public:
+  TrajectoryBatchResult(std::vector<std::string> metric_names,
+                        std::size_t replicas, std::vector<double> values,
+                        std::uint64_t root_seed);
+
+  const std::vector<std::string>& metric_names() const noexcept {
+    return names_;
+  }
+  std::size_t replicas() const noexcept { return replicas_; }
+  std::size_t metrics() const noexcept { return names_.size(); }
+  std::uint64_t root_seed() const noexcept { return root_seed_; }
+
+  double value(std::size_t replica, std::size_t metric) const {
+    return values_[replica * names_.size() + metric];
+  }
+  const std::vector<MetricSummary>& summaries() const noexcept {
+    return summaries_;
+  }
+  const MetricSummary& summary(const std::string& name) const;
+
+  /// FNV-1a over the raw bit patterns of the value matrix (replica-major):
+  /// one number that equals iff every replica's every metric is bit-equal.
+  std::uint64_t values_hash() const noexcept;
+
+  /// metric | mean | ±ci95 | sd | min | max | n rows.
+  Table to_table(int precision = 4) const;
+
+  /// Bitwise equality of names, replica count and the full value matrix —
+  /// the thread-invariance and legacy-vs-flat contract check.
+  bool deterministic_equals(const TrajectoryBatchResult& other) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::size_t replicas_;
+  std::uint64_t root_seed_;
+  std::vector<double> values_;  ///< replicas × metrics, replica-major
+  std::vector<MetricSummary> summaries_;
+};
+
+/// Runs `replica(r, seed)` for r in [0, replicas) across the pool; the
+/// callback must return one value per metric name (checked). Replicas must
+/// not share mutable state — slot writes make determinism the engine's
+/// job, independence stays the caller's contract.
+TrajectoryBatchResult run_trajectory_batch(
+    std::vector<std::string> metric_names,
+    const TrajectoryBatchOptions& options,
+    const std::function<std::vector<double>(std::size_t replica,
+                                            std::uint64_t seed)>& replica);
+
+// ------------------------------------------------------- simulator adapters
+
+/// Metric names of `run_chain_batch` rows.
+const std::vector<std::string>& chain_batch_metrics();
+
+/// Batched chain studies: `make_replica(seed)` builds a fresh simulator
+/// (chain specs, options and RNG seeded from `seed`); each replica runs it
+/// and reports {blocks_total, blocks_share_chain0, migrations, share_mae,
+/// reward_total_fiat}.
+TrajectoryBatchResult run_chain_batch(
+    const std::function<chain::MultiChainSimulator(std::uint64_t seed)>&
+        make_replica,
+    const TrajectoryBatchOptions& options);
+
+/// Metric names of `run_market_batch` rows.
+const std::vector<std::string>& market_batch_metrics();
+
+/// Batched market studies: each replica runs `make_replica(seed)` and
+/// reports {mean_share_coin0, final_share_coin0, equilibrium_fraction,
+/// br_steps_total, final_price_coin0}.
+TrajectoryBatchResult run_market_batch(
+    const std::function<market::MarketSimulator(std::uint64_t seed)>&
+        make_replica,
+    const TrajectoryBatchOptions& options);
+
+// ------------------------------------------------------- trajectory hashes
+
+/// FNV-1a over every deterministic field of a chain result (counters plus
+/// raw double bits, timeline included) — bit-equality of two hashes means
+/// the *trajectories*, not just the endpoints, coincided. This is how
+/// `--compare-scan` proves the flat event core replays the legacy
+/// `EventQueue` path draw-for-draw.
+std::uint64_t chain_result_hash(const chain::ChainSimResult& result) noexcept;
+
+/// Same contract for the market simulator's epoch records.
+std::uint64_t market_records_hash(
+    const std::vector<market::EpochRecord>& records) noexcept;
+
+}  // namespace goc::sim
