@@ -36,6 +36,27 @@ inline void banner(const std::string& experiment, const std::string& claim) {
   std::cout << "=== " << experiment << " ===\n" << claim << "\n\n";
 }
 
+namespace detail {
+
+/// One export format of `emit`: if `--<format>=<base>` was passed, saves
+/// the table via `save` to `<base>[.suffix].<format>` and announces the
+/// path. A bare `--<format>` flag parses as an empty value; fall back to
+/// "bench" rather than emitting a hidden dotfile.
+template <typename SaveFn>
+void emit_as(const Cli& cli, const std::string& format,
+             const std::string& suffix, SaveFn&& save) {
+  if (!cli.has(format)) return;
+  std::string base = cli.get_string(format, "bench");
+  if (base.empty()) base = "bench";
+  const std::string path = suffix.empty()
+                               ? base + "." + format
+                               : base + "." + suffix + "." + format;
+  save(path);
+  std::cout << "[" << format << " saved to " << path << "]\n\n";
+}
+
+}  // namespace detail
+
 /// Prints a table and, when --csv=<base> / --json=<base> were passed,
 /// saves it in those formats too (suffix keeps multi-table binaries from
 /// overwriting themselves).
@@ -43,25 +64,11 @@ inline void emit(const Cli& cli, const Table& table, const std::string& title,
                  const std::string& csv_suffix = "") {
   table.print(std::cout, title);
   std::cout << "\n";
-  // A bare `--csv` / `--json` flag parses as an empty value; fall back to
-  // "bench" rather than emitting a hidden ".csv" / ".json" file.
-  if (cli.has("csv")) {
-    std::string base = cli.get_string("csv", "bench");
-    if (base.empty()) base = "bench";
-    const std::string path =
-        csv_suffix.empty() ? base + ".csv" : base + "." + csv_suffix + ".csv";
-    table.save_csv(path);
-    std::cout << "[csv saved to " << path << "]\n\n";
-  }
-  if (cli.has("json")) {
-    std::string base = cli.get_string("json", "bench");
-    if (base.empty()) base = "bench";
-    const std::string path = csv_suffix.empty()
-                                 ? base + ".json"
-                                 : base + "." + csv_suffix + ".json";
+  detail::emit_as(cli, "csv", csv_suffix,
+                  [&](const std::string& path) { table.save_csv(path); });
+  detail::emit_as(cli, "json", csv_suffix, [&](const std::string& path) {
     io::write_text_file(io::table_to_json(table, title), path);
-    std::cout << "[json saved to " << path << "]\n\n";
-  }
+  });
 }
 
 }  // namespace goc::bench

@@ -43,9 +43,12 @@ MultiChainSimulator::MultiChainSimulator(std::vector<double> miner_powers,
   }
   if (flat_) {
     members_.resize(chains_.size());
+    for (auto& m : members_) m.reserve(powers_.size());  // alloc-free moves
     for (std::size_t i = 0; i < powers_.size(); ++i) {
       members_[assignment_[i]].push_back(static_cast<std::uint32_t>(i));
     }
+    reward_per_power_.assign(chains_.size(), 0.0);
+    stint_base_.assign(powers_.size(), 0.0);
     core_.declare_streams(sim::EventType::kBlockFound, chains_.size());
     core_.declare_streams(sim::EventType::kDecisionEpoch, 1);
   }
@@ -91,19 +94,21 @@ void MultiChainSimulator::on_block(std::size_t chain) {
   ++result_.blocks_per_chain[chain];
 
   // Winner lottery ∝ power among the chain's miners; simultaneously accrue
-  // the proportional-split prediction the paper's model assumes. The flat
-  // engine walks the chain's member list, the legacy engine scans every
-  // miner — both visit the members in ascending miner order, so the
-  // floating-point accumulation and the lottery are bit-identical.
+  // the proportional-split prediction the paper's model assumes. Both
+  // engines visit the members in ascending miner order, so the lottery is
+  // bit-identical; the flat engine accrues the prediction as one O(1) bump
+  // of the chain's reward-per-power integral (settled per stint) and exits
+  // the walk at the winner, the legacy engine pays O(chain members) adds.
   const double ticket = rng_.uniform01() * mass_[chain];
   double acc = 0.0;
   std::size_t winner = powers_.size();
   if (flat_) {
+    reward_per_power_[chain] += reward_fiat_[chain] / mass_[chain];
     for (const std::uint32_t i : members_[chain]) {
-      predicted_rewards_[i] += reward_fiat_[chain] * powers_[i] / mass_[chain];
-      if (winner == powers_.size()) {
-        acc += powers_[i];
-        if (ticket < acc) winner = i;
+      acc += powers_[i];
+      if (ticket < acc) {
+        winner = i;
+        break;
       }
     }
     if (winner == powers_.size() && !members_[chain].empty()) {
@@ -158,6 +163,10 @@ void MultiChainSimulator::move_miner(std::size_t miner, std::size_t to_chain) {
   assignment_[miner] = to_chain;
   ++result_.migrations;
   if (flat_) {
+    // Settle the finished stint on `from` and start a new one on `to`.
+    predicted_rewards_[miner] +=
+        powers_[miner] * (reward_per_power_[from] - stint_base_[miner]);
+    stint_base_[miner] = reward_per_power_[to_chain];
     const auto id = static_cast<std::uint32_t>(miner);
     auto& src = members_[from];
     src.erase(std::lower_bound(src.begin(), src.end(), id));
@@ -267,6 +276,14 @@ ChainSimResult MultiChainSimulator::run() {
     queue_.schedule(options_.decision_interval_hours,
                     [this] { decision_epoch(); });
     queue_.run_until(options_.duration_hours);
+  }
+
+  if (flat_) {
+    // Settle every miner's open stint into the prediction accumulator.
+    for (std::size_t i = 0; i < powers_.size(); ++i) {
+      predicted_rewards_[i] +=
+          powers_[i] * (reward_per_power_[assignment_[i]] - stint_base_[i]);
+    }
   }
 
   // E9 validation: realized vs predicted reward shares.

@@ -90,6 +90,14 @@ struct ChainSimResult {
   /// Mean absolute error between each miner's realized reward share and
   /// its within-chain power share prediction, over miners with nonzero
   /// predicted share (the E9 validation number).
+  ///
+  /// FP-order note: the flat engine accrues the prediction through the
+  /// per-chain reward-per-power integral (O(1) per block, settled per
+  /// stint), the legacy engine adds per miner per block. The two sums are
+  /// mathematically identical but associate differently, so this one field
+  /// matches across engines only to floating-point tolerance — every other
+  /// field stays bit-identical, and `sim::chain_result_hash` excludes this
+  /// field for exactly that reason.
   double share_prediction_mae = 0.0;
   std::uint64_t migrations = 0;  ///< total miner moves across the run
   /// Live events dispatched (blocks + decision epochs; stale races are
@@ -139,8 +147,20 @@ class MultiChainSimulator {
   std::vector<std::uint64_t> generation_;   // legacy block-race invalidation
   RewardHook reward_hook_;                  // optional price coupling
   ChainSimResult result_;
-  // Accumulated (power-share × chain reward) prediction per miner.
+  // Accumulated (power-share × chain reward) prediction per miner. The
+  // legacy engine adds reward·m_i/M_c for every chain member on every
+  // block; the flat engine settles lazily from the stint integral below.
   std::vector<double> predicted_rewards_;
+  // Flat engine only: reward_per_power_[c] = Σ over c's blocks of
+  // reward/M_c — the cumulative fiat a unit of hashpower parked on c would
+  // have been predicted to earn. A block then costs O(1) accrual (bump the
+  // integral) instead of O(chain members); a miner's prediction for one
+  // stint on c is m_i · (integral at leave − integral at join), with the
+  // join value kept in stint_base_[i]. Settled on every move and at the
+  // end of run(). Changes only the FP association of
+  // share_prediction_mae — see the field's note above.
+  std::vector<double> reward_per_power_;
+  std::vector<double> stint_base_;
 };
 
 }  // namespace goc::chain

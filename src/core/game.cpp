@@ -62,6 +62,18 @@ Game Game::with_rewards(RewardFunction rewards) const {
   return Game(system_, std::move(rewards), access_);
 }
 
+void Game::reweight(RewardFunction rewards) {
+  GOC_CHECK_ARG(rewards.num_coins() == system_->num_coins(),
+                "reward function arity must equal the number of coins");
+  rewards_ = std::move(rewards);
+}
+
+void Game::reweight(const std::vector<Rational>& weights) {
+  GOC_CHECK_ARG(weights.size() == system_->num_coins(),
+                "reward function arity must equal the number of coins");
+  rewards_.assign(weights);
+}
+
 std::string Game::to_string() const {
   std::ostringstream os;
   os << "Game{" << system_->to_string() << ", " << rewards_.to_string() << "}";

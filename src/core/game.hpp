@@ -69,6 +69,19 @@ class Game {
   /// the access policy carries over.
   Game with_rewards(RewardFunction rewards) const;
 
+  /// Replaces the reward function *in place* — system and access policy
+  /// untouched, arity checked. The complement of `with_rewards` for
+  /// simulation loops that change weights every epoch: observers holding a
+  /// reference to this game (configurations, comparators, indices) keep
+  /// it; anything caching reward-derived state must be refreshed (see
+  /// `dynamics::BestResponseIndex::reweight`).
+  void reweight(RewardFunction rewards);
+
+  /// Zero-allocation reweight: copies `weights` into the reward function's
+  /// preallocated storage (`RewardFunction::assign`). The market epoch
+  /// engine's steady-state path.
+  void reweight(const std::vector<Rational>& weights);
+
   std::string to_string() const;
 
  private:

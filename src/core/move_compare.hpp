@@ -1,6 +1,7 @@
 #pragma once
 
 #include <compare>
+#include <vector>
 
 #include "core/configuration.hpp"
 #include "core/game.hpp"
@@ -17,10 +18,19 @@
 /// F(b)/(M_b + m_p) — a cross-multiplication. When every power and reward
 /// is an integer (the overwhelmingly common workload: all generators emit
 /// integers), masses are integers too and the whole comparison is two raw
-/// `i128` multiplies with no `Rational` construction and no GCD. Overflowing
-/// products and non-integer games fall back to the exact `Rational` path,
-/// so the ordering returned is always exact — bit-for-bit the same decision
-/// the reference scan makes.
+/// `i128` multiplies with no `Rational` construction and no GCD.
+///
+/// Rewards need not be integers for that to work: orderings are invariant
+/// under scaling all rewards by one positive constant, so any reward set
+/// with integer powers is rescaled at construction to a common denominator
+/// L = lcm_c(den(F(c))) and compared through the integer numerators
+/// K_c = F(c)·L. This is what keeps the market epoch engine on the i128
+/// path — its weights are `Rational::from_double` quantizations whose
+/// denominators all divide the quantization denominator. Overflowing
+/// products, non-integer powers, and reward sets whose rescaling would
+/// overflow fall back to the exact `Rational` path, so the ordering
+/// returned is always exact — bit-for-bit the same decision the reference
+/// scan makes.
 
 namespace goc {
 
@@ -51,9 +61,20 @@ class MoveComparator {
  public:
   explicit MoveComparator(const Game& game);
 
+  /// Re-derives the comparison mode and the rescaled reward numerators
+  /// from the game's *current* rewards, reusing the existing storage (no
+  /// allocation). Must be called after `Game::reweight` changed the reward
+  /// function under this comparator; `BestResponseIndex::reweight` does.
+  void refresh();
+
   /// True when every power and reward is an integer, enabling the raw
   /// `i128` cross-multiplication path.
   bool integer_mode() const noexcept { return integer_mode_; }
+
+  /// True when comparisons run on the i128 path: integer powers and
+  /// rewards rescalable to integers by a common positive factor (a strict
+  /// superset of `integer_mode`).
+  bool fast_mode() const noexcept { return fast_mode_; }
 
   /// Compares miner p's payoff after unilaterally moving to `c1` vs `c2`
   /// (either may equal s.of(p), meaning "stay put" — the current payoff).
@@ -83,7 +104,9 @@ class MoveComparator {
  private:
   const Game* game_;
   bool integer_mode_;
+  bool fast_mode_;
   bool unrestricted_;
+  std::vector<i128> scaled_rewards_;  // K_c = F(c)·L; valid in fast mode
 };
 
 }  // namespace goc

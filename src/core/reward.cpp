@@ -48,6 +48,25 @@ RewardFunction RewardFunction::with(CoinId c, Rational value) const {
   return RewardFunction(std::move(copy));
 }
 
+void RewardFunction::assign(const std::vector<Rational>& rewards) {
+  GOC_CHECK_ARG(rewards.size() == rewards_.size(),
+                "assign must keep the reward function's arity");
+  for (const auto& r : rewards) {
+    GOC_CHECK_ARG(r.is_positive(), "coin rewards must be positive");
+  }
+  // Element-wise copy into the existing buffer: same-size vector
+  // copy-assignment never reallocates, and Rational is a value type.
+  rewards_ = rewards;
+  max_ = rewards_.front();
+  min_ = rewards_.front();
+  total_ = Rational(0);
+  for (const auto& r : rewards_) {
+    if (r > max_) max_ = r;
+    if (r < min_) min_ = r;
+    total_ += r;
+  }
+}
+
 bool RewardFunction::dominates(const RewardFunction& other) const {
   GOC_CHECK_ARG(num_coins() == other.num_coins(),
                 "reward functions over different coin sets");

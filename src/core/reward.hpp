@@ -44,6 +44,13 @@ class RewardFunction {
   /// Returns a copy with coin `c` set to `value` (must be positive).
   RewardFunction with(CoinId c, Rational value) const;
 
+  /// Replaces every coin's reward in place, reusing the existing storage
+  /// (no allocation when the arity matches, which it must). Same
+  /// validation as the constructor; the min/max/total aggregates are
+  /// recomputed. This is the zero-rebuild path the market epoch engine
+  /// drives through `Game::reweight`.
+  void assign(const std::vector<Rational>& rewards);
+
   /// Pointwise `this ≥ other` — the Algorithm 1 admissibility condition for
   /// a designed reward function relative to the base F.
   bool dominates(const RewardFunction& other) const;

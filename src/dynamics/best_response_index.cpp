@@ -22,6 +22,18 @@ BestResponseIndex::BestResponseIndex(const Game& game, const Configuration& s)
   count_.assign(n, 0);
   improving_.assign(n * stride_, 0);
   unstable_flag_.assign(n, 0);
+  // Full capacity up front: set_stability's sorted inserts, and rebuilds
+  // after reweights, never allocate afterwards.
+  unstable_.reserve(n);
+  rebuild();
+}
+
+void BestResponseIndex::reweight() {
+  // Every reward changed, so every cached ordering is stale — but the
+  // storage layout is not. Refresh the comparator in place (its mode and
+  // rescaled reward numerators depend on the rewards) and rescan every
+  // miner into the existing strips; neither step allocates.
+  cmp_.refresh();
   rebuild();
 }
 

@@ -62,6 +62,17 @@ class BestResponseIndex {
     return tracked_ == &s && epoch_ == s.move_epoch();
   }
 
+  /// Reweight-invalidation hook: call after `Game::reweight` changed the
+  /// game's reward function under this index. Every coin's attractiveness
+  /// changed at once, so all cached best responses and improving sets are
+  /// recomputed (O(n·|C|) fast comparisons, like construction) — but the
+  /// structural state survives: the tracked configuration binding, every
+  /// preallocated strip (bitmask rows, gains, the unstable set's capacity)
+  /// and the comparator are reused, so a reweight allocates nothing. The
+  /// comparator's integer-mode flag is re-derived (new rewards may enter
+  /// or leave the raw-i128 fast path).
+  void reweight();
+
   const Game& game() const noexcept { return *game_; }
 
   // ---------------------------------------------------------------- queries

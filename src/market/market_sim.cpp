@@ -56,8 +56,14 @@ void MarketSimulator::inject_whale(std::size_t coin, double fee) {
 }
 
 const Game& MarketSimulator::current_game() const {
-  GOC_CHECK_ARG(game_ != nullptr, "no epoch has run yet");
-  return *game_;
+  GOC_CHECK_ARG(ws_ != nullptr && ws_->epochs_run > 0, "no epoch has run yet");
+  return ws_->game;
+}
+
+void MarketSimulator::ensure_workspace() {
+  if (ws_) return;
+  ws_ = std::make_unique<EpochWorkspace>(
+      system_, config_, options_.engine == sim::EngineKind::kFlat);
 }
 
 void MarketSimulator::step_coin_price(std::size_t c, EpochRecord& record) {
@@ -82,19 +88,42 @@ void MarketSimulator::step_coin_fees(std::size_t c, EpochRecord& record,
 void MarketSimulator::finish_epoch(EpochRecord& record,
                                    std::vector<Rational>& weights) {
   // Induced game and partial better-response adjustment.
-  game_ = std::make_unique<Game>(system_, RewardFunction(std::move(weights)));
+  Game& game = ws_->game;
   const std::uint64_t cap = options_.br_steps_per_epoch == 0
                                 ? UINT64_MAX
                                 : options_.br_steps_per_epoch;
   std::uint64_t steps = 0;
-  while (steps < cap) {
-    const auto move = scheduler_->pick(*game_, config_);
-    if (!move) break;
-    config_.move(move->miner, move->to);
-    ++steps;
+  if (options_.engine == sim::EngineKind::kFlat) {
+    // Zero-rebuild path: swap this epoch's weights into the workspace game
+    // and reweight-invalidate the index — no Game, RewardFunction or index
+    // construction, no allocation. pick_indexed picks the exact move pick
+    // would and draws the same variates, so the trajectory matches the
+    // legacy rebuild path bit-for-bit.
+    game.reweight(weights);
+    dynamics::BestResponseIndex& index = *ws_->index;
+    index.reweight();
+    while (steps < cap) {
+      const auto move = scheduler_->pick_indexed(game, config_, index);
+      if (!move) break;
+      config_.move(move->miner, move->to);
+      index.sync(config_);
+      ++steps;
+    }
+    record.at_equilibrium = index.at_equilibrium();
+  } else {
+    // Legacy reference: genuinely rebuild the induced game and run the
+    // schedulers' from-scratch scan path every epoch.
+    game = Game(system_, RewardFunction(std::move(weights)));
+    while (steps < cap) {
+      const auto move = scheduler_->pick(game, config_);
+      if (!move) break;
+      config_.move(move->miner, move->to);
+      ++steps;
+    }
+    record.at_equilibrium = is_equilibrium(game, config_);
   }
   record.br_steps = steps;
-  record.at_equilibrium = is_equilibrium(*game_, config_);
+  ++ws_->epochs_run;
 
   // Hashrate shares.
   const double total = system_->total_power().to_double();
@@ -128,12 +157,19 @@ std::vector<EpochRecord> MarketSimulator::run_flat() {
 
   std::vector<EpochRecord> records;
   if (options_.epochs == 0) return records;  // match the legacy no-op run
-  records.reserve(options_.epochs);
-  std::vector<Rational> weights(coins_.size());
-  EpochRecord record;  // the epoch under assembly; reused across epochs
-  record.prices.resize(coins_.size());
-  record.weights.resize(coins_.size());
-  record.hashrate_share.resize(coins_.size());
+  ensure_workspace();
+  // Preallocate the *entire* output: after this block the event loop does
+  // not touch the heap — epochs write into their records in place, weights
+  // are copied into the workspace game's existing storage, and the index
+  // rescans its preallocated strips (tests/test_sim.cpp counts the
+  // allocations to prove it).
+  records.resize(options_.epochs);
+  for (EpochRecord& r : records) {
+    r.prices.resize(coins_.size());
+    r.weights.resize(coins_.size());
+    r.hashrate_share.resize(coins_.size());
+  }
+  std::size_t done = 0;
 
   // Schedules epoch e's events: per coin a price tick then a fee update
   // (FIFO tie-breaking preserves exactly the legacy per-coin order), then
@@ -154,17 +190,16 @@ std::vector<EpochRecord> MarketSimulator::run_flat() {
   while (core.pop(event)) {
     switch (event.type) {
       case sim::EventType::kPriceTick:
-        step_coin_price(event.subject, record);
+        step_coin_price(event.subject, records[done]);
         break;
       case sim::EventType::kFeeUpdate:
-        step_coin_fees(event.subject, record, weights);
+        step_coin_fees(event.subject, records[done], ws_->weights);
         break;
       case sim::EventType::kDecisionEpoch: {
-        record.t_hours = core.now();
-        finish_epoch(record, weights);
-        records.push_back(record);
-        weights.assign(coins_.size(), Rational());  // moved-from: re-arm
-        if (records.size() < options_.epochs) schedule_epoch(records.size());
+        records[done].t_hours = core.now();
+        finish_epoch(records[done], ws_->weights);
+        ++done;
+        if (done < options_.epochs) schedule_epoch(done);
         break;
       }
       default:
@@ -178,6 +213,7 @@ std::vector<EpochRecord> MarketSimulator::run() {
   if (options_.engine == sim::EngineKind::kFlat) return run_flat();
   std::vector<EpochRecord> records;
   records.reserve(options_.epochs);
+  if (options_.epochs > 0) ensure_workspace();
   for (std::size_t e = 0; e < options_.epochs; ++e) {
     const double t = static_cast<double>(e + 1) * options_.epoch_hours;
     records.push_back(step_epoch(t));

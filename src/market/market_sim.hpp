@@ -1,11 +1,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/configuration.hpp"
 #include "core/game.hpp"
+#include "dynamics/best_response_index.hpp"
 #include "dynamics/scheduler.hpp"
 #include "market/fee_market.hpp"
 #include "market/price_process.hpp"
@@ -31,10 +33,16 @@
 ///
 /// The default engine decomposes each epoch into flat `sim::EventCore`
 /// events — one kPriceTick and one kFeeUpdate per coin, then one
-/// kDecisionEpoch — dispatched by enum switch; the legacy plain epoch loop
-/// (`sim::EngineKind::kLegacy`) is retained as the reference. Both paths
-/// call the same per-coin sub-steps in the same order, so they consume the
-/// RNG identically and the epoch records are bit-identical
+/// kDecisionEpoch — dispatched by enum switch, and drives the adjustment
+/// through the zero-rebuild epoch path: an `EpochWorkspace` arena holds
+/// one `Game` whose rewards are swapped in place per epoch
+/// (`Game::reweight`) and one `BestResponseIndex` that is
+/// reweight-invalidated instead of reconstructed, so a steady-state epoch
+/// performs no heap allocation. The legacy plain epoch loop
+/// (`sim::EngineKind::kLegacy`) is retained as the reference: it rebuilds
+/// the game and runs the schedulers' scan path every epoch. Both engines
+/// call the same per-coin sub-steps in the same order and consume the RNG
+/// identically, so the epoch records are bit-identical
 /// (`tests/test_sim.cpp`, `bench_des --compare-scan`).
 
 namespace goc::market {
@@ -54,6 +62,14 @@ struct CoinSpec {
         blocks_per_hour(blocks_hour),
         price(std::move(price_process)),
         fees(std::move(fee_market)) {}
+
+  /// Deep copy, including the price process's full runtime state
+  /// (`PriceProcess::clone`). Replica factories stamp independent coin
+  /// lists from one prototype instead of hand-rebuilding them.
+  CoinSpec clone() const {
+    return CoinSpec(name, block_subsidy, blocks_per_hour, price->clone(),
+                    fees);
+  }
 };
 
 struct MarketOptions {
@@ -80,6 +96,36 @@ struct EpochRecord {
   bool at_equilibrium = false;          ///< w.r.t. this epoch's weights
 };
 
+/// Preallocated per-simulation arena for the epoch hot loop.
+///
+/// Everything an epoch mutates lives here, sized once: the quantized
+/// weight scratch, the induced game (whose rewards are swapped *in place*
+/// by `Game::reweight` — the system, access policy and the game object's
+/// address never change), and, on the flat engine, the incremental
+/// best-response index (reweight-invalidated per epoch, never rebuilt from
+/// scratch). After construction a steady-state epoch allocates nothing:
+/// weights are copied into the reward function's existing storage, the
+/// index rescans into its preallocated strips, and the adjustment loop
+/// runs `pick_indexed` over it. The legacy engine reuses only the weight
+/// scratch and the game *slot* (it genuinely rebuilds a `Game` per epoch —
+/// that is the reference behavior the fast path is checked against).
+struct EpochWorkspace {
+  std::vector<Rational> weights;  ///< this epoch's F(c), quantized
+  Game game;                      ///< reweighted in place each epoch
+  /// Flat engine only: drives the schedulers' `pick_indexed` path.
+  std::optional<dynamics::BestResponseIndex> index;
+  std::size_t epochs_run = 0;
+
+  EpochWorkspace(std::shared_ptr<const System> system,
+                 const Configuration& config, bool build_index)
+      : weights(system->num_coins(), Rational(1)),
+        game(std::move(system),
+             RewardFunction::constant(config.system().num_coins(),
+                                      Rational(1))) {
+    if (build_index) index.emplace(game, config);
+  }
+};
+
 class MarketSimulator {
  public:
   /// `miner_powers` defines Π (positive integers, any order); one CoinSpec
@@ -100,7 +146,11 @@ class MarketSimulator {
   const CoinSpec& coin(std::size_t i) const { return coins_.at(i); }
 
   /// The most recent epoch's game (weights as of that epoch). Valid after
-  /// at least one epoch has run.
+  /// at least one epoch has run (throws std::invalid_argument before
+  /// that). The reference is *stable across epochs*: it aliases the
+  /// workspace-owned game, which is reweighted in place rather than
+  /// reallocated, and stays valid for the simulator's lifetime (the
+  /// simulator must not be moved while the reference is held).
   const Game& current_game() const;
 
  private:
@@ -114,6 +164,10 @@ class MarketSimulator {
   void finish_epoch(EpochRecord& record, std::vector<Rational>& weights);
   EpochRecord step_epoch(double t_hours);
   std::vector<EpochRecord> run_flat();
+  // Creates the workspace on first use. Deferred to run() rather than the
+  // constructor because scenario factories return simulators by value and
+  // the index must bind the configuration at its final address.
+  void ensure_workspace();
 
   std::shared_ptr<const System> system_;
   std::vector<CoinSpec> coins_;
@@ -121,7 +175,7 @@ class MarketSimulator {
   Rng rng_;
   std::unique_ptr<Scheduler> scheduler_;
   Configuration config_;
-  std::unique_ptr<Game> game_;  // rebuilt each epoch with fresh weights
+  std::unique_ptr<EpochWorkspace> ws_;  // arena; created lazily by run()
 };
 
 }  // namespace goc::market

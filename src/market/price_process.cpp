@@ -96,4 +96,14 @@ void ScheduledShockProcess::reset() {
   shock_multiplier_ = 1.0;
 }
 
+std::unique_ptr<PriceProcess> ScheduledShockProcess::clone() const {
+  auto copy = std::make_unique<ScheduledShockProcess>(base_->clone(), shocks_);
+  // The constructor re-sorts and validates; carry the runtime state over so
+  // mid-run clones continue the path (fired shocks stay fired).
+  copy->clock_hours_ = clock_hours_;
+  copy->next_shock_ = next_shock_;
+  copy->shock_multiplier_ = shock_multiplier_;
+  return copy;
+}
+
 }  // namespace goc::market

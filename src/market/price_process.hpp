@@ -33,6 +33,13 @@ class PriceProcess {
 
   /// Restores the initial state (prices only; the caller owns Rng state).
   virtual void reset() = 0;
+
+  /// Deep copy carrying the *full runtime state* (current price, shock
+  /// clock, fired shocks), not just the construction parameters — cloning
+  /// then stepping both copies with identical Rng draws produces identical
+  /// paths. The replica-stamping primitive behind `CoinSpec::clone` and
+  /// `Scenario::make_simulator`.
+  virtual std::unique_ptr<PriceProcess> clone() const = 0;
 };
 
 /// dS = μ·S·dt + σ·S·dW, parameters per *day*.
@@ -44,6 +51,9 @@ class GbmProcess final : public PriceProcess {
   double step(double dt_hours, Rng& rng) override;
   double price() const override { return price_; }
   void reset() override { price_ = initial_; }
+  std::unique_ptr<PriceProcess> clone() const override {
+    return std::make_unique<GbmProcess>(*this);
+  }
 
  private:
   double initial_;
@@ -63,6 +73,9 @@ class JumpDiffusionProcess final : public PriceProcess {
   double step(double dt_hours, Rng& rng) override;
   double price() const override { return price_; }
   void reset() override { price_ = initial_; }
+  std::unique_ptr<PriceProcess> clone() const override {
+    return std::make_unique<JumpDiffusionProcess>(*this);
+  }
 
  private:
   double initial_;
@@ -89,6 +102,7 @@ class ScheduledShockProcess final : public PriceProcess {
   double step(double dt_hours, Rng& rng) override;
   double price() const override;
   void reset() override;
+  std::unique_ptr<PriceProcess> clone() const override;
 
  private:
   std::unique_ptr<PriceProcess> base_;

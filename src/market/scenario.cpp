@@ -21,7 +21,20 @@ std::vector<std::int64_t> pareto_powers(std::size_t miners, std::int64_t lo,
 
 }  // namespace
 
-MarketSimulator fork_flip_scenario(const ForkFlipParams& params) {
+std::vector<CoinSpec> Scenario::clone_coins() const {
+  std::vector<CoinSpec> copies;
+  copies.reserve(coins.size());
+  for (const CoinSpec& c : coins) copies.push_back(c.clone());
+  return copies;
+}
+
+MarketSimulator Scenario::make_simulator(std::uint64_t seed) const {
+  MarketOptions replica_options = options;
+  replica_options.seed = seed;
+  return MarketSimulator(miner_powers, clone_coins(), replica_options);
+}
+
+Scenario fork_flip_prototype(const ForkFlipParams& params) {
   GOC_CHECK_ARG(params.miners >= 2, "scenario needs at least two miners");
   GOC_CHECK_ARG(params.shock_day < params.revert_day &&
                     params.revert_day < params.days,
@@ -53,19 +66,23 @@ MarketSimulator fork_flip_scenario(const ForkFlipParams& params) {
       FeeMarket(/*tx_per_hour=*/900.0, /*fee_scale=*/0.0002,
                 /*fee_shape=*/1.8));
 
-  MarketOptions options;
-  options.epoch_hours = 1.0;
-  options.epochs = static_cast<std::size_t>(params.days * 24.0);
-  options.br_steps_per_epoch = 6;
-  options.seed = params.seed;
-
-  return MarketSimulator(
-      pareto_powers(params.miners, params.min_power, params.max_power, rng),
-      std::move(coins), options);
+  Scenario scenario;
+  scenario.miner_powers =
+      pareto_powers(params.miners, params.min_power, params.max_power, rng);
+  scenario.coins = std::move(coins);
+  scenario.options.epoch_hours = 1.0;
+  scenario.options.epochs = static_cast<std::size_t>(params.days * 24.0);
+  scenario.options.br_steps_per_epoch = 6;
+  scenario.options.seed = params.seed;
+  return scenario;
 }
 
-MarketSimulator random_market_scenario(std::size_t miners, std::size_t coins,
-                                       double days, std::uint64_t seed) {
+MarketSimulator fork_flip_scenario(const ForkFlipParams& params) {
+  return fork_flip_prototype(params).make_simulator(params.seed);
+}
+
+Scenario random_market_prototype(std::size_t miners, std::size_t coins,
+                                 double days, std::uint64_t seed) {
   GOC_CHECK_ARG(coins >= 1, "market needs at least one coin");
   Rng rng(seed);
   std::vector<CoinSpec> specs;
@@ -78,13 +95,20 @@ MarketSimulator random_market_scenario(std::size_t miners, std::size_t coins,
         std::make_unique<JumpDiffusionProcess>(price0, 0.0, 0.05, 0.15, 0.0, 0.12),
         FeeMarket(3000.0 / std::pow(2.0, static_cast<double>(c)), 0.0002, 1.8));
   }
-  MarketOptions options;
-  options.epoch_hours = 1.0;
-  options.epochs = static_cast<std::size_t>(days * 24.0);
-  options.br_steps_per_epoch = 6;
-  options.seed = seed;
-  return MarketSimulator(pareto_powers(miners, 50, 4000, rng), std::move(specs),
-                         options);
+  Scenario scenario;
+  scenario.miner_powers = pareto_powers(miners, 50, 4000, rng);
+  scenario.coins = std::move(specs);
+  scenario.options.epoch_hours = 1.0;
+  scenario.options.epochs = static_cast<std::size_t>(days * 24.0);
+  scenario.options.br_steps_per_epoch = 6;
+  scenario.options.seed = seed;
+  return scenario;
+}
+
+MarketSimulator random_market_scenario(std::size_t miners, std::size_t coins,
+                                       double days, std::uint64_t seed) {
+  return random_market_prototype(miners, coins, days, seed)
+      .make_simulator(seed);
 }
 
 }  // namespace goc::market

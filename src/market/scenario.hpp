@@ -19,6 +19,25 @@
 
 namespace goc::market {
 
+/// A reusable market-scenario prototype: the miner power profile, one
+/// prototype CoinSpec per coin, and the run options. Monte Carlo batches
+/// stamp one independent simulator per replica with `make_simulator(seed)`
+/// — coins are deep-cloned (`CoinSpec::clone`, price-process state
+/// included) and only the seed differs — instead of hand-rebuilding the
+/// coin list in every replica factory.
+struct Scenario {
+  std::vector<std::int64_t> miner_powers;
+  std::vector<CoinSpec> coins;
+  MarketOptions options;
+
+  /// Deep copy of the coin prototypes.
+  std::vector<CoinSpec> clone_coins() const;
+
+  /// A fresh simulator over cloned coins, with `options.seed` replaced by
+  /// `seed`. The prototype itself is untouched and reusable.
+  MarketSimulator make_simulator(std::uint64_t seed) const;
+};
+
 struct ForkFlipParams {
   std::size_t miners = 64;
   std::int64_t min_power = 50;
@@ -35,12 +54,21 @@ struct ForkFlipParams {
   std::uint64_t seed = 1711;         ///< November 2017
 };
 
-/// Builds the simulator (two coins: index 0 = major/"BTC", 1 = minor/"BCH").
+/// The fork-flip prototype (two coins: index 0 = major/"BTC", 1 =
+/// minor/"BCH"), ready for replica stamping.
+Scenario fork_flip_prototype(const ForkFlipParams& params = {});
+
+/// Builds the simulator directly (equivalent to
+/// `fork_flip_prototype(params).make_simulator(params.seed)`).
 MarketSimulator fork_flip_scenario(const ForkFlipParams& params = {});
 
-/// A generic N-coin market with Pareto miner powers and GBM prices sized as
-/// "majors plus tail" — used by the market-explorer example and stress
-/// tests.
+/// A generic N-coin market prototype with Pareto miner powers and
+/// jump-diffusion prices sized as "majors plus tail".
+Scenario random_market_prototype(std::size_t miners, std::size_t coins,
+                                 double days, std::uint64_t seed);
+
+/// Builds the simulator directly — used by the market-explorer example and
+/// stress tests.
 MarketSimulator random_market_scenario(std::size_t miners, std::size_t coins,
                                        double days, std::uint64_t seed);
 

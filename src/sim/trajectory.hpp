@@ -7,6 +7,7 @@
 
 #include "chain/chain_sim.hpp"
 #include "market/market_sim.hpp"
+#include "market/scenario.hpp"
 #include "util/table.hpp"
 
 /// \file trajectory.hpp
@@ -130,6 +131,12 @@ TrajectoryBatchResult run_market_batch(
     const std::function<market::MarketSimulator(std::uint64_t seed)>&
         make_replica,
     const TrajectoryBatchOptions& options);
+
+/// Scenario-prototype convenience: each replica is
+/// `scenario.make_simulator(seed)` (coins deep-cloned per replica, seeds
+/// from the batch's derivation) — no hand-written factory needed.
+TrajectoryBatchResult run_market_batch(const market::Scenario& scenario,
+                                       const TrajectoryBatchOptions& options);
 
 // ------------------------------------------------------- trajectory hashes
 

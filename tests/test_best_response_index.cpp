@@ -130,6 +130,101 @@ TEST(MoveComparator, ExactModeForNonIntegerGames) {
   }
 }
 
+TEST(MoveComparator, FastModeForCommonDenominatorRewards) {
+  // Non-integer rewards over integer powers: integer_mode stays off (the
+  // enumeration/potential layers rely on its strict all-integers meaning)
+  // but the rescaled-numerator path still applies — this is the market
+  // epoch engine's workload, whose weights are from_double quantizations.
+  const Game g(System::from_integer_powers({5, 9, 2, 14}, 3),
+               RewardFunction({Rational(7, 4), Rational(3, 2),
+                               Rational::from_double(0.371, 1 << 20)}));
+  const MoveComparator cmp(g);
+  EXPECT_FALSE(cmp.integer_mode());
+  EXPECT_TRUE(cmp.fast_mode());
+  Rng rng(19);
+  const Configuration s = random_configuration(g, rng);
+  for (std::uint32_t p = 0; p < g.num_miners(); ++p) {
+    const MinerId miner(p);
+    for (std::uint32_t a = 0; a < g.num_coins(); ++a) {
+      for (std::uint32_t b = 0; b < g.num_coins(); ++b) {
+        const Rational va = g.payoff_if_move(s, miner, CoinId(a));
+        const Rational vb = g.payoff_if_move(s, miner, CoinId(b));
+        EXPECT_EQ(cmp.compare(s, miner, CoinId(a), CoinId(b)), va <=> vb);
+      }
+    }
+  }
+  // Non-integer powers kill both modes regardless of the rewards.
+  const MoveComparator exact(rational_game());
+  EXPECT_FALSE(exact.fast_mode());
+}
+
+TEST(MoveComparator, RefreshTracksReweightedRewards) {
+  Rng rng(23);
+  Game g = random_integer_game(rng);
+  const Configuration s = random_configuration(g, rng);
+  MoveComparator cmp(g);
+  EXPECT_TRUE(cmp.integer_mode());
+  // Swing through fractional weights and back to integers; after every
+  // reweight+refresh the comparator must agree with the exact payoff
+  // order and report the right mode.
+  std::vector<Rational> weights(g.num_coins());
+  for (int round = 0; round < 4; ++round) {
+    for (std::size_t c = 0; c < weights.size(); ++c) {
+      weights[c] = round % 2 == 0
+                       ? Rational::from_double(
+                             0.2 + 0.37 * static_cast<double>(c + round),
+                             1 << 20)
+                       : Rational(static_cast<std::int64_t>(3 + c + round));
+    }
+    g.reweight(weights);
+    cmp.refresh();
+    EXPECT_EQ(cmp.integer_mode(), round % 2 != 0);
+    EXPECT_TRUE(cmp.fast_mode());
+    for (std::uint32_t p = 0; p < g.num_miners(); ++p) {
+      const MinerId miner(p);
+      for (std::uint32_t a = 0; a < g.num_coins(); ++a) {
+        for (std::uint32_t b = 0; b < g.num_coins(); ++b) {
+          const Rational va = g.payoff_if_move(s, miner, CoinId(a));
+          const Rational vb = g.payoff_if_move(s, miner, CoinId(b));
+          EXPECT_EQ(cmp.compare(s, miner, CoinId(a), CoinId(b)), va <=> vb);
+        }
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- reweight primitives
+
+TEST(RewardFunctionAssign, ReplacesInPlaceWithConstructorValidation) {
+  RewardFunction f = RewardFunction::constant(3, Rational(2));
+  EXPECT_THROW(f.assign({Rational(1), Rational(2)}), std::invalid_argument);
+  EXPECT_THROW(f.assign({Rational(1), Rational(0), Rational(2)}),
+               std::invalid_argument);
+  EXPECT_THROW(f.assign({Rational(1), Rational(-3), Rational(2)}),
+               std::invalid_argument);
+  // Failed assigns must leave the function untouched.
+  EXPECT_EQ(f(CoinId(1)), Rational(2));
+  f.assign({Rational(1, 2), Rational(5), Rational(9, 4)});
+  EXPECT_EQ(f(CoinId(0)), Rational(1, 2));
+  EXPECT_EQ(f.min_reward(), Rational(1, 2));
+  EXPECT_EQ(f.max_reward(), Rational(5));
+  EXPECT_EQ(f.total_reward(), Rational(1, 2) + Rational(5) + Rational(9, 4));
+  EXPECT_FALSE(f.is_symmetric());
+}
+
+TEST(GameReweight, SwapsRewardsAndKeepsSystemAndAccess) {
+  Rng rng(29);
+  Game g = random_integer_game(rng);
+  const auto system = g.system_ptr();
+  const std::vector<Rational> weights(g.num_coins(), Rational(7, 3));
+  g.reweight(weights);
+  EXPECT_EQ(g.system_ptr(), system);
+  EXPECT_EQ(g.rewards().values(), weights);
+  EXPECT_THROW(g.reweight(std::vector<Rational>(g.num_coins() + 1,
+                                                Rational(1))),
+               std::invalid_argument);
+}
+
 // ------------------------------------------------------- index vs scan
 
 TEST(BestResponseIndex, FreshBuildMatchesScan) {
@@ -250,6 +345,57 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, IndexedSchedulerEquivalence,
     ::testing::Combine(::testing::ValuesIn(all_scheduler_kinds()),
                        ::testing::Values(21u, 22u, 23u, 24u)));
+
+TEST(BestResponseIndex, ReweightMatchesFreshRebuildForEveryKind) {
+  // The zero-rebuild market contract: after Game::reweight +
+  // BestResponseIndex::reweight, the pair must be indistinguishable from a
+  // freshly constructed Game/Index — same cached facts, and bit-identical
+  // move sequences under every scheduler kind (same RNG draws included).
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    Rng rng(404);
+    Game g = random_integer_game(rng);
+    Configuration s = random_configuration(g, rng);
+    BestResponseIndex index(g, s);
+    // Warm the index with incremental history so reweight starts from a
+    // synced-but-nontrivial internal state, then swap in market-style
+    // fractional weights.
+    auto warm = make_scheduler(SchedulerKind::kRandomMiner, 9);
+    for (int step = 0; step < 25; ++step) {
+      const auto move = warm->pick_indexed(g, s, index);
+      if (!move) break;
+      s.move(move->miner, move->to);
+      index.sync(s);
+    }
+    std::vector<Rational> weights(g.num_coins());
+    for (std::size_t c = 0; c < weights.size(); ++c) {
+      weights[c] = Rational::from_double(
+          0.4 + 0.83 * static_cast<double>(c), 1 << 20);
+    }
+    g.reweight(weights);
+    index.reweight();
+    expect_index_matches_scan(g, s, index);
+
+    Game fresh(g.system_ptr(), RewardFunction(weights), g.access());
+    Configuration fresh_s = s;
+    BestResponseIndex fresh_index(fresh, fresh_s);
+    auto sched = make_scheduler(kind, 555);
+    auto fresh_sched = make_scheduler(kind, 555);
+    for (int step = 0; step < 200; ++step) {
+      const auto a = sched->pick_indexed(g, s, index);
+      const auto b = fresh_sched->pick_indexed(fresh, fresh_s, fresh_index);
+      ASSERT_EQ(a.has_value(), b.has_value()) << scheduler_kind_name(kind);
+      if (!a) break;
+      EXPECT_EQ(a->miner, b->miner) << scheduler_kind_name(kind);
+      EXPECT_EQ(a->to, b->to) << scheduler_kind_name(kind);
+      EXPECT_EQ(a->gain, b->gain) << scheduler_kind_name(kind);
+      s.move(a->miner, a->to);
+      index.sync(s);
+      fresh_s.move(b->miner, b->to);
+      fresh_index.sync(fresh_s);
+    }
+    EXPECT_TRUE(s == fresh_s) << scheduler_kind_name(kind);
+  }
+}
 
 TEST(IndexedScheduler, TieGameTrajectoriesMatchForEveryKind) {
   for (const SchedulerKind kind : all_scheduler_kinds()) {

@@ -1,16 +1,44 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <memory>
+#include <new>
 #include <vector>
 
 #include "chain/chain_sim.hpp"
 #include "chain/difficulty.hpp"
+#include "dynamics/scheduler.hpp"
 #include "engine/thread_pool.hpp"
 #include "market/fig1_replay.hpp"
 #include "market/market_sim.hpp"
+#include "market/scenario.hpp"
 #include "sim/event_core.hpp"
 #include "sim/trajectory.hpp"
+
+// ------------------------------------------- allocation-counting operator new
+// Counts every heap allocation in the binary so the zero-allocation claim of
+// the flat market epoch loop is a *tested* invariant, not a comment (see
+// MarketFlat.SteadyStateEpochsDoNotAllocate). Frees are not counted — the
+// claim is about acquisitions.
+
+namespace {
+std::atomic<std::size_t> g_new_calls{0};
+
+void* counted_alloc(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace goc::sim {
 namespace {
@@ -161,7 +189,10 @@ void expect_chain_results_equal(const chain::ChainSimResult& a,
   for (std::size_t i = 0; i < a.miner_rewards_fiat.size(); ++i) {
     EXPECT_EQ(a.miner_rewards_fiat[i], b.miner_rewards_fiat[i]);
   }
-  EXPECT_EQ(a.share_prediction_mae, b.share_prediction_mae);
+  // The one non-bitwise field: the flat engine accrues the prediction via
+  // the stint integral (O(1) per block), the legacy engine per member per
+  // block — mathematically equal sums, different FP association.
+  EXPECT_NEAR(a.share_prediction_mae, b.share_prediction_mae, 1e-9);
   EXPECT_EQ(a.migrations, b.migrations);
   EXPECT_EQ(a.events_dispatched, b.events_dispatched);
   ASSERT_EQ(a.timeline.size(), b.timeline.size());
@@ -317,6 +348,63 @@ TEST(MarketParity, WhaleInjectionBitIdentical) {
   expect_market_records_equal(legacy, flat);
 }
 
+TEST(MarketParity, AllSchedulerKindsBitIdentical) {
+  // The zero-rebuild engine must replay the legacy rebuild-per-epoch path
+  // move-for-move under every scheduler kind (same RNG draws included).
+  for (const SchedulerKind kind : all_scheduler_kinds()) {
+    market::MarketOptions options;
+    options.epochs = 24 * 2;
+    options.seed = 80 + static_cast<std::uint64_t>(kind);
+    options.scheduler = kind;
+    options.engine = EngineKind::kLegacy;
+    auto legacy = build_market(options).run();
+    options.engine = EngineKind::kFlat;
+    auto flat = build_market(options).run();
+    ASSERT_EQ(legacy.size(), flat.size()) << scheduler_kind_name(kind);
+    expect_market_records_equal(legacy, flat);
+  }
+}
+
+std::size_t flat_run_allocations(std::size_t epochs) {
+  market::MarketOptions options;
+  options.epochs = epochs;
+  options.seed = 91;
+  options.engine = EngineKind::kFlat;
+  market::MarketSimulator sim = build_market(options);
+  const std::size_t before = g_new_calls.load(std::memory_order_relaxed);
+  const std::vector<market::EpochRecord> records = sim.run();
+  const std::size_t after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(records.size(), epochs);
+  return after - before;
+}
+
+TEST(MarketFlat, SteadyStateEpochsDoNotAllocate) {
+  // run() preallocates its whole output and the workspace before the event
+  // loop starts, so the only cost of extra epochs is the up-front
+  // preallocation of their records — exactly three inner vectors each
+  // (prices, weights, hashrate_share). If anything inside the loop touched
+  // the heap (a Game rebuild, an index rebuild, a scheduler scratch
+  // vector…) the delta would exceed 3 per epoch and this fails.
+  const std::size_t base = flat_run_allocations(60);
+  const std::size_t wide = flat_run_allocations(180);
+  EXPECT_EQ(wide - base, 3u * 120u);
+}
+
+TEST(MarketFlat, CurrentGameIsWorkspaceStable) {
+  market::MarketOptions options;
+  options.epochs = 12;
+  options.seed = 55;
+  market::MarketSimulator sim = build_market(options);
+  EXPECT_THROW(sim.current_game(), std::invalid_argument);
+  sim.run();
+  const Game* game = &sim.current_game();
+  EXPECT_EQ(game->num_coins(), 3u);
+  // The reference stays valid (same workspace-owned object) across
+  // further runs — the documented lifetime contract of current_game().
+  sim.run();
+  EXPECT_EQ(&sim.current_game(), game);
+}
+
 // ------------------------------------------------------- trajectory engine
 
 TEST(Trajectory, SummariesAreExact) {
@@ -423,6 +511,26 @@ TEST(Trajectory, MarketBatchSmoke) {
   const MetricSummary& share = result.summary("mean_share_coin0");
   EXPECT_GT(share.mean, 0.0);
   EXPECT_LE(share.max, 1.0);
+}
+
+TEST(Trajectory, ScenarioBatchMatchesHandWrittenFactory) {
+  const market::Scenario proto =
+      market::random_market_prototype(12, 3, 2.0, 33);
+  TrajectoryBatchOptions options;
+  options.replicas = 4;
+  options.threads = 2;
+  options.root_seed = 5;
+  const TrajectoryBatchResult via_scenario = run_market_batch(proto, options);
+  const TrajectoryBatchResult via_factory = run_market_batch(
+      [&proto](std::uint64_t seed) { return proto.make_simulator(seed); },
+      options);
+  EXPECT_TRUE(via_scenario.deterministic_equals(via_factory));
+  // The prototype is reusable: stamping the same seed twice yields
+  // bit-identical trajectories, because CoinSpec::clone deep-copies the
+  // price processes (full runtime state included) rather than sharing them.
+  const auto first = proto.make_simulator(99).run();
+  const auto second = proto.make_simulator(99).run();
+  expect_market_records_equal(first, second);
 }
 
 // ------------------------------------------------ Monte Carlo stress (slow)
