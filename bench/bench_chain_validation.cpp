@@ -19,6 +19,7 @@
 /// replica per horizon) on the legacy `chain::EventQueue` engine and
 /// requires bit-identical trajectories against the flat event core.
 
+#include <algorithm>
 #include <cmath>
 
 #include "bench_common.hpp"
@@ -38,6 +39,9 @@ int run(int argc, char** argv) {
   const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
   const bool compare_scan = cli.get_bool("compare-scan", false);
   const std::size_t replicas = cli.get_u64("replicas", quick ? 4 : 16);
+  // --adaptive: replace the fixed replica count with a CI-driven stopping
+  // rule on share_mae — replicas is then the floor, 8x replicas the cap.
+  const bool adaptive = cli.get_bool("adaptive", false);
 
   bench::banner("E9 — chain-level validation of the proportional-reward "
                 "model",
@@ -65,14 +69,24 @@ int run(int argc, char** argv) {
   };
 
   // Part A: realized vs predicted reward share, by horizon — batched.
-  Table share({"horizon_days", "blocks_mean", "share_MAE_mean",
-               "share_MAE_ci95", "largest_realized_mean",
+  Table share({"horizon_days", "replicas", "stop", "blocks_mean",
+               "share_MAE_mean", "share_MAE_ci95", "largest_realized_mean",
                "largest_power_share"});
   for (const double days : {2.0, 10.0, 60.0, 240.0}) {
     sim::TrajectoryBatchOptions batch;
     batch.replicas = replicas;
     batch.root_seed = seed0 + static_cast<std::uint64_t>(days);
     batch.threads = threads;
+    if (adaptive) {
+      sim::StoppingRule rule;
+      rule.metric = "share_mae";
+      rule.tolerance = 0.25;  // 25% relative half-width on the MAE trend
+      rule.relative = true;
+      rule.min_replicas = std::max<std::size_t>(2, replicas);
+      rule.max_replicas = 8 * std::max<std::size_t>(2, replicas);
+      rule.wave = std::max<std::size_t>(2, replicas);
+      batch.stopping = rule;
+    }
     const sim::TrajectoryBatchResult result = sim::run_trajectory_batch(
         {"blocks", "share_mae", "largest_realized"}, batch,
         [&](std::size_t, std::uint64_t seed) {
@@ -87,6 +101,9 @@ int run(int argc, char** argv) {
               total > 0.0 ? r.miner_rewards_fiat[0] / total : 0.0};
         });
     share.row() << fmt_double(days, 0)
+                << (fmt_group(result.replicas()) + "/" +
+                    fmt_group(result.replicas_requested()))
+                << sim::stop_reason_name(result.stop_reason())
                 << fmt_double(result.summary("blocks").mean, 0)
                 << fmt_double(result.summary("share_mae").mean, 4)
                 << fmt_double(result.summary("share_mae").ci95_halfwidth, 4)

@@ -129,6 +129,59 @@ market::MarketSimulator make_market(std::size_t epochs, sim::EngineKind engine,
   return market::MarketSimulator(std::move(powers), std::move(coins), options);
 }
 
+/// The decision-epoch workload: a large population under synchronous
+/// better-response epochs (`reevaluation_fraction = 1`, hourly decisions,
+/// slow block cadence) so `decision_epoch()` dominates the run. Rewards are
+/// proportional to each chain's initial hashrate, which puts the population
+/// at a better-response equilibrium: every miner still evaluates the full
+/// chain menu each epoch — the cost the sharded mode attacks — but nobody
+/// migrates, so the apply phase is identical across modes and the table
+/// isolates evaluation throughput (the regime the paper's dynamics converge
+/// to). Used by the `--adaptive` table to compare the sequential scan
+/// (`epoch_lanes = 0`) against the sharded frozen-state mode.
+chain::MultiChainSimulator make_epoch_chain(std::size_t miners,
+                                            std::size_t num_chains,
+                                            double hours,
+                                            std::size_t epoch_lanes,
+                                            sim::EngineKind engine,
+                                            std::uint64_t seed) {
+  Rng setup(seed ^ 0xE90CULL);
+  std::vector<double> powers;
+  powers.reserve(miners);
+  for (std::size_t i = 0; i < miners; ++i) {
+    powers.push_back(std::min(4000.0, std::ceil(setup.pareto(10.0, 1.16))));
+  }
+  std::vector<std::size_t> assignment;
+  assignment.reserve(miners);
+  for (std::size_t i = 0; i < miners; ++i) {
+    assignment.push_back(i % num_chains);
+  }
+  std::vector<double> mass(num_chains, 0.0);
+  for (std::size_t i = 0; i < miners; ++i) mass[assignment[i]] += powers[i];
+
+  std::vector<chain::ChainSpec> chains;
+  for (std::size_t c = 0; c < num_chains; ++c) {
+    // Reward proportional to initial mass: staying strictly dominates every
+    // candidate (reward_c·p/(mass_c+p) < reward_cur·p/mass_cur), so the
+    // epochs are pure evaluation. One block per hour keeps blocks cheap.
+    const double reward = 0.01 * std::max(1.0, mass[c]);
+    chains.push_back(chain::ChainSpec{
+        "c" + std::to_string(c), std::max(1.0, mass[c]), 1.0, reward,
+        std::make_unique<chain::FixedWindowRetarget>(24, 1.0)});
+  }
+  chain::ChainSimOptions options;
+  options.duration_hours = hours;
+  options.decision_interval_hours = 1.0;
+  options.policy = chain::MinerPolicy::kBetterResponse;
+  options.reevaluation_fraction = 1.0;
+  options.seed = seed;
+  options.record_timeline = false;
+  options.engine = engine;
+  options.epoch_lanes = epoch_lanes;
+  return chain::MultiChainSimulator(std::move(powers), std::move(chains),
+                                    options, std::move(assignment));
+}
+
 struct EngineRun {
   double wall_ms = 0.0;
   std::uint64_t events = 0;
@@ -254,6 +307,149 @@ int run(int argc, char** argv) {
             << fmt_double(serial_ms / parallel_ms, 2) << "x; aggregates "
             << (batch_identical ? "bit-identical" : "DIVERGED")
             << " (values_hash " << parallel.values_hash() << ")]\n";
+
+  // ----------------------------------------------- adaptive Monte Carlo
+  if (cli.get_bool("adaptive", false)) {
+    bench::banner(
+        "Adaptive Monte Carlo (CI-driven stopping + sharded decision epochs)",
+        "Stopping: waves of replicas stop once the replica-ordered prefix "
+        "95% CI meets the tolerance — same chosen R at any --threads. "
+        "Epochs: frozen-state sharded decision_epoch vs the sequential "
+        "scan; sharded trajectories are hash-checked across lane counts "
+        "and both event engines.");
+
+    Table adaptive_table(
+        {"case", "mode", "n", "wall_ms", "gain", "detail", "ok"});
+
+    // (a) Sequential stopping on the low-variance chain batch: a fixed-R
+    // study wildly overshoots the 2% relative CI target; the stopping rule
+    // reaches the same target in a fraction of the replicas.
+    {
+      const double tol = 0.02;  // relative 95% half-width on blocks_total
+      sim::TrajectoryBatchOptions fixed;
+      fixed.replicas = quick ? 64 : 256;
+      fixed.root_seed = seed0 + 7;
+      fixed.threads = threads;
+      bench::Stopwatch stop_watch;
+      const sim::TrajectoryBatchResult full =
+          sim::run_chain_batch(chain_factory, fixed);
+      const double fixed_ms = stop_watch.elapsed_ms();
+
+      sim::TrajectoryBatchOptions adaptive = fixed;
+      sim::StoppingRule rule;
+      rule.metric = "blocks_total";
+      rule.tolerance = tol;
+      rule.relative = true;
+      rule.min_replicas = 8;
+      rule.max_replicas = fixed.replicas;
+      rule.wave = 8;
+      adaptive.stopping = rule;
+      stop_watch.restart();
+      const sim::TrajectoryBatchResult stopped =
+          sim::run_chain_batch(chain_factory, adaptive);
+      const double adaptive_ms = stop_watch.elapsed_ms();
+
+      const auto rel_ci = [](const sim::TrajectoryBatchResult& result) {
+        const sim::MetricSummary& s = result.summary("blocks_total");
+        return s.ci95_halfwidth / std::abs(s.mean);
+      };
+      const double reduction = static_cast<double>(full.replicas()) /
+                               static_cast<double>(stopped.replicas());
+      const bool fixed_ok = rel_ci(full) <= tol;
+      const bool stopped_ok =
+          stopped.stop_reason() != sim::StopReason::kToleranceMet ||
+          rel_ci(stopped) <= tol;
+      all_identical = all_identical && fixed_ok && stopped_ok;
+      adaptive_table.row()
+          << "stopping low-variance" << "fixed-R"
+          << fmt_group(full.replicas()) << fmt_double(fixed_ms, 1) << "1.0"
+          << ("rel_ci95=" + fmt_double(100.0 * rel_ci(full), 3) + "% tol=" +
+              fmt_double(100.0 * tol, 1) + "%")
+          << (fixed_ok ? "yes" : "NO");
+      adaptive_table.row()
+          << "stopping low-variance" << "adaptive"
+          << fmt_group(stopped.replicas()) << fmt_double(adaptive_ms, 1)
+          << (fmt_double(reduction, 1) + "x fewer")
+          << ("reason=" + std::string(stop_reason_name(stopped.stop_reason())) +
+              " rel_ci95=" + fmt_double(100.0 * rel_ci(stopped), 3) +
+              "% of " + fmt_group(stopped.replicas_requested()) + " requested")
+          << (stopped_ok ? "yes" : "NO");
+
+      // A noisy metric under a tight tolerance escalates to the ceiling.
+      sim::TrajectoryBatchOptions noisy = fixed;
+      sim::StoppingRule tight;
+      tight.metric = "share_mae";
+      tight.tolerance = 0.002;
+      tight.relative = true;
+      tight.min_replicas = 8;
+      tight.max_replicas = quick ? 32 : 64;
+      tight.wave = 8;
+      noisy.stopping = tight;
+      stop_watch.restart();
+      const sim::TrajectoryBatchResult capped =
+          sim::run_chain_batch(chain_factory, noisy);
+      adaptive_table.row()
+          << "stopping high-variance" << "adaptive"
+          << fmt_group(capped.replicas())
+          << fmt_double(stop_watch.elapsed_ms(), 1) << "-"
+          << ("reason=" + std::string(stop_reason_name(capped.stop_reason())) +
+              " of " + fmt_group(capped.replicas_requested()) + " requested")
+          << "yes";
+    }
+
+    // (b) The decision-epoch workload: sequential scan vs the sharded
+    // frozen-state epoch. The two are *different dynamics* (the scan sees
+    // live mid-epoch state), so only sharded rows are hash-compared — at
+    // every lane count and on both event engines they must coincide.
+    {
+      const std::size_t miners = quick ? 20000 : 100000;
+      const std::size_t num_chains = 128;
+      const double hours = quick ? 8.0 : 16.0;
+      const std::string name = std::to_string(miners / 1000) + "k m x " +
+                               std::to_string(num_chains) + "c";
+      const auto run_epoch = [&](std::size_t lanes, sim::EngineKind engine) {
+        bench::Stopwatch epoch_watch;
+        chain::MultiChainSimulator sim = make_epoch_chain(
+            miners, num_chains, hours, lanes, engine, seed0 + 11);
+        const chain::ChainSimResult result = sim.run();
+        EngineRun run;
+        run.wall_ms = epoch_watch.elapsed_ms();
+        run.events = result.events_dispatched;
+        run.hash = sim::chain_result_hash(result);
+        return run;
+      };
+      const EngineRun scan = run_epoch(0, sim::EngineKind::kFlat);
+      const EngineRun lane1 = run_epoch(1, sim::EngineKind::kFlat);
+      const EngineRun lane8 = run_epoch(8, sim::EngineKind::kFlat);
+      const EngineRun legacy8 = run_epoch(8, sim::EngineKind::kLegacy);
+      const bool lanes_identical =
+          lane1.hash == lane8.hash && lane1.hash == legacy8.hash;
+      all_identical = all_identical && lanes_identical;
+      adaptive_table.row()
+          << ("epoch " + name) << "sequential-scan" << "-"
+          << fmt_double(scan.wall_ms, 1) << "1.0"
+          << (fmt_group(scan.events) + " events") << "yes";
+      adaptive_table.row()
+          << ("epoch " + name) << "sharded lanes=1" << "1"
+          << fmt_double(lane1.wall_ms, 1)
+          << (fmt_double(scan.wall_ms / lane1.wall_ms, 1) + "x")
+          << ("hash=" + std::to_string(lane1.hash))
+          << (lanes_identical ? "yes" : "NO");
+      adaptive_table.row()
+          << ("epoch " + name) << "sharded lanes=8" << "8"
+          << fmt_double(lane8.wall_ms, 1)
+          << (fmt_double(scan.wall_ms / lane8.wall_ms, 1) + "x")
+          << "hash matches lanes=1" << (lanes_identical ? "yes" : "NO");
+      adaptive_table.row()
+          << ("epoch " + name) << "sharded legacy lanes=8" << "8"
+          << fmt_double(legacy8.wall_ms, 1)
+          << (fmt_double(scan.wall_ms / legacy8.wall_ms, 1) + "x")
+          << "hash matches flat" << (lanes_identical ? "yes" : "NO");
+    }
+
+    bench::emit(cli, adaptive_table,
+                "Adaptive Monte Carlo: stopping + sharded epochs", "adaptive");
+  }
 
   std::cout << "trajectory equality: "
             << (all_identical ? "OK (all bit-identical)" : "FAIL") << "\n";

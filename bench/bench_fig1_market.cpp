@@ -14,6 +14,8 @@
 /// hashrate share surges from a small fraction to a majority for the flip
 /// window, then recedes. Absolute magnitudes are calibration, not claims.
 
+#include <algorithm>
+
 #include "bench_common.hpp"
 #include "market/fig1_replay.hpp"
 #include "engine/sweep.hpp"
@@ -36,6 +38,9 @@ int run(int argc, char** argv) {
   const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
   const bool compare_scan = cli.get_bool("compare-scan", false);
   const std::size_t replicas = cli.get_u64("replicas", quick ? 4 : 12);
+  // --adaptive: stop the replay batch once the flip-window share's 95% CI
+  // is inside 2 percentage points (replicas = floor, 8x replicas = cap).
+  const bool adaptive = cli.get_bool("adaptive", false);
 
   bench::banner("E1/E2 — Figure 1a/1b: BTC/BCH fork-flip migration",
                 "Scripted exchange-rate shock at day " +
@@ -98,8 +103,22 @@ int run(int argc, char** argv) {
   batch.replicas = replicas;
   batch.root_seed = params.seed;
   batch.threads = threads;
+  if (adaptive) {
+    sim::StoppingRule rule;
+    rule.metric = "flip_window_share";
+    rule.tolerance = 0.04;  // 4 hashrate-share points, absolute
+    rule.min_replicas = std::max<std::size_t>(2, replicas);
+    rule.max_replicas = 8 * std::max<std::size_t>(2, replicas);
+    rule.wave = std::max<std::size_t>(2, replicas);
+    batch.stopping = rule;
+  }
   const sim::TrajectoryBatchResult replay =
       run_fig1_replay_batch(replay_params, batch);
+  if (adaptive) {
+    std::cout << "[adaptive: " << replay.replicas() << " of "
+              << replay.replicas_requested() << " replicas ("
+              << sim::stop_reason_name(replay.stop_reason()) << ")]\n\n";
+  }
 
   Table fidelity({"phase", "avg_bch_hash_share%", "ci95", "min", "max"});
   const auto phase_row = [&](const std::string& label,
@@ -114,7 +133,7 @@ int run(int argc, char** argv) {
   phase_row("flip window [shock, revert]", "flip_window_share");
   phase_row("after reversal", "post_revert_share");
   bench::emit(cli, fidelity,
-              "Chain-level replay, " + std::to_string(replicas) +
+              "Chain-level replay, " + std::to_string(replay.replicas()) +
                   " Monte Carlo replicas (difficulty dynamics + myopic "
                   "miners)",
               "replay");

@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
 
 namespace goc::chain {
+
+namespace {
+
+/// "Stay put" sentinel in epoch_target_ / absent-chain marker in TopTwo.
+constexpr std::uint32_t kNoChain = std::numeric_limits<std::uint32_t>::max();
+
+/// Shard grain sizes for the parallel evaluate phase: large enough that a
+/// chunk amortizes its dispatch, small enough that the cursor balances
+/// uneven progress. Pure scheduling — results never depend on them.
+constexpr std::size_t kMinerGrain = 4096;
+constexpr std::size_t kClassGrain = 512;
+
+}  // namespace
 
 MultiChainSimulator::MultiChainSimulator(std::vector<double> miner_powers,
                                          std::vector<ChainSpec> chains,
@@ -57,6 +71,34 @@ MultiChainSimulator::MultiChainSimulator(std::vector<double> miner_powers,
   for (std::size_t c = 0; c < chains_.size(); ++c) {
     difficulty_[c] = chains_[c].initial_difficulty;
     reward_fiat_[c] = chains_[c].block_reward_fiat;
+  }
+  if (options_.epoch_lanes >= 1) {
+    // Sharded-epoch scratch, sized once so epochs never allocate.
+    unique_powers_ = powers_;
+    std::sort(unique_powers_.begin(), unique_powers_.end());
+    unique_powers_.erase(
+        std::unique(unique_powers_.begin(), unique_powers_.end()),
+        unique_powers_.end());
+    power_class_.resize(powers_.size());
+    for (std::size_t i = 0; i < powers_.size(); ++i) {
+      power_class_[i] = static_cast<std::uint32_t>(
+          std::lower_bound(unique_powers_.begin(), unique_powers_.end(),
+                           powers_[i]) -
+          unique_powers_.begin());
+    }
+    epoch_target_.assign(powers_.size(), kNoChain);
+    epoch_chain_value_.resize(chains_.size());
+    epoch_top2_.resize(unique_powers_.size());
+    if (options_.epoch_pool != nullptr) {
+      epoch_pool_ = options_.epoch_pool;
+    } else {
+      const std::size_t lanes = powers_.size() >= options_.epoch_shard_cutoff
+                                    ? options_.epoch_lanes
+                                    : 1;
+      owned_epoch_pool_ = std::make_unique<engine::ThreadPool>(
+          engine::ThreadPool::workers_for(lanes));
+      epoch_pool_ = owned_epoch_pool_.get();
+    }
   }
   generation_.assign(chains_.size(), 0);
   result_.blocks_per_chain.assign(chains_.size(), 0);
@@ -195,7 +237,10 @@ void MultiChainSimulator::decision_epoch() {
       reward_fiat_[c] = updated;
     }
   }
-  if (options_.policy != MinerPolicy::kStatic) {
+  if (options_.policy != MinerPolicy::kStatic &&
+      options_.epoch_lanes >= 1) {
+    decision_epoch_sharded();
+  } else if (options_.policy != MinerPolicy::kStatic) {
     for (std::size_t i = 0; i < powers_.size(); ++i) {
       if (!rng_.bernoulli(options_.reevaluation_fraction)) continue;
       const std::size_t cur = assignment_[i];
@@ -233,6 +278,7 @@ void MultiChainSimulator::decision_epoch() {
       move_miner(i, best);
     }
   }
+  ++epoch_index_;
 
   if (options_.record_timeline) {
     TimelinePoint point;
@@ -251,6 +297,113 @@ void MultiChainSimulator::decision_epoch() {
     } else {
       queue_.schedule(next, [this] { decision_epoch(); });
     }
+  }
+}
+
+void MultiChainSimulator::decision_epoch_sharded() {
+  const std::size_t n = powers_.size();
+  const std::size_t num_chains = chains_.size();
+  const double now = sim_now();
+  const bool better_response = options_.policy == MinerPolicy::kBetterResponse;
+
+  // --- Freeze the per-chain values every evaluation reads. -----------------
+  // kBetterResponse: the paper's weight F(c) = reward / target interval;
+  // kMyopicDifficulty: fiat per hash at the prospective difficulty. The
+  // myopic loop stays serial — adjusters are not required to tolerate
+  // concurrent prospective() calls, and it is O(|C|) anyway.
+  if (better_response) {
+    for (std::size_t c = 0; c < num_chains; ++c) {
+      epoch_chain_value_[c] =
+          reward_fiat_[c] / chains_[c].target_interval_hours;
+    }
+    // Per distinct power p: top-2 chains by join value F(c)·p/(M_c + p),
+    // first-argmax ties — exactly what a first-wins strict-`>` scan over
+    // chains picks. Join values read only frozen state, so classes shard
+    // freely.
+    epoch_pool_->parallel_for_chunks(
+        unique_powers_.size(), kClassGrain,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t k = begin; k < end; ++k) {
+            const double p = unique_powers_[k];
+            TopTwo t{kNoChain, kNoChain, 0.0, 0.0};
+            for (std::uint32_t c = 0; c < num_chains; ++c) {
+              const double v = epoch_chain_value_[c] * p / (mass_[c] + p);
+              if (t.c1 == kNoChain || v > t.v1) {
+                t.c2 = t.c1;
+                t.v2 = t.v1;
+                t.c1 = c;
+                t.v1 = v;
+              } else if (t.c2 == kNoChain || v > t.v2) {
+                t.c2 = c;
+                t.v2 = v;
+              }
+            }
+            epoch_top2_[k] = t;
+          }
+        });
+  } else {
+    TopTwo t{kNoChain, kNoChain, 0.0, 0.0};
+    for (std::uint32_t c = 0; c < num_chains; ++c) {
+      const double v = reward_fiat_[c] /
+                       chains_[c].adjuster->prospective(now, difficulty_[c]);
+      epoch_chain_value_[c] = v;
+      if (t.c1 == kNoChain || v > t.v1) {
+        t.c2 = t.c1;
+        t.v2 = t.v1;
+        t.c1 = c;
+        t.v1 = v;
+      } else if (t.c2 == kNoChain || v > t.v2) {
+        t.c2 = c;
+        t.v2 = v;
+      }
+    }
+    epoch_top2_[0] = t;
+  }
+
+  // --- Evaluate: pure per-miner, parallel over contiguous shards. ----------
+  // Reevaluation draws come from a counter-based per-epoch splitmix64
+  // substream — miner i's draw is a function of (seed, epoch, i) alone, so
+  // it is decision-order-stable no matter how the range is sharded (the
+  // main RNG stream is untouched; it serves only the block races the apply
+  // phase re-arms, in miner order as before).
+  std::uint64_t epoch_state =
+      options_.seed + 0x9E3779B97F4A7C15ULL * (epoch_index_ + 1);
+  const std::uint64_t epoch_seed = splitmix64(epoch_state);
+  const double fraction = options_.reevaluation_fraction;
+  const double hysteresis = 1.0 + options_.myopic_hysteresis;
+  epoch_pool_->parallel_for_chunks(
+      n, kMinerGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          epoch_target_[i] = kNoChain;
+          std::uint64_t s =
+              epoch_seed +
+              0xBF58476D1CE4E5B9ULL * (static_cast<std::uint64_t>(i) + 1);
+          const double u =
+              static_cast<double>(splitmix64(s) >> 11) * 0x1.0p-53;
+          if (!(u < fraction)) continue;
+          const auto cur = static_cast<std::uint32_t>(assignment_[i]);
+          const TopTwo& t =
+              better_response ? epoch_top2_[power_class_[i]] : epoch_top2_[0];
+          const std::uint32_t cand = t.c1 != cur ? t.c1 : t.c2;
+          if (cand == kNoChain) continue;
+          const double cand_value = t.c1 != cur ? t.v1 : t.v2;
+          // Stay value against the frozen state; myopic hysteresis models
+          // switching friction exactly as in the sequential scan.
+          const double stay =
+              better_response
+                  ? epoch_chain_value_[cur] * powers_[i] / mass_[cur]
+                  : epoch_chain_value_[cur] * hysteresis;
+          if (cand_value > stay) epoch_target_[i] = cand;
+        }
+      });
+
+  // --- Apply: replay the moves serially in miner order. --------------------
+  // Mass updates, member-list edits, race invalidation and the fresh
+  // exponential draws all happen in ascending miner order, so the apply
+  // phase is a pure function of the target vector — identical at any lane
+  // count.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (epoch_target_[i] != kNoChain) move_miner(i, epoch_target_[i]);
   }
 }
 

@@ -7,6 +7,7 @@
 
 #include "chain/des.hpp"
 #include "chain/difficulty.hpp"
+#include "engine/thread_pool.hpp"
 #include "sim/event_core.hpp"
 #include "util/rng.hpp"
 
@@ -66,6 +67,29 @@ struct ChainSimOptions {
   bool record_timeline = true;
   /// Flat event core (default) or the legacy callback queue (reference).
   sim::EngineKind engine = sim::EngineKind::kFlat;
+  /// Decision-epoch execution mode. 0 (default) keeps the original
+  /// sequential policy scan: miners re-evaluate one at a time against the
+  /// *live* state (earlier movers shift the masses later miners see) with
+  /// reevaluation draws from the main RNG stream. Any value >= 1 selects
+  /// the **sharded epoch**: a simultaneous-move dynamics where every miner
+  /// evaluates against the frozen pre-epoch state with a counter-based
+  /// per-epoch reevaluation substream (evaluate phase, parallel over
+  /// contiguous miner shards) and moves replay serially in miner order
+  /// (apply phase). The two modes are *different dynamics* — equally valid
+  /// discretizations of the paper's epoch game — so their trajectories are
+  /// not comparable; within sharded mode, results are bit-identical at ANY
+  /// lane count (epoch_lanes = 1 is the serial reference) and across both
+  /// event engines.
+  std::size_t epoch_lanes = 0;
+  /// Shared pool for the sharded evaluate phase (e.g. handed down by
+  /// `sim::plan_nested_lanes` arbitration). When null, the simulator owns a
+  /// pool of `epoch_lanes` lanes — unless the population is smaller than
+  /// `epoch_shard_cutoff`, where shard dispatch costs more than the scan it
+  /// saves and the evaluate runs inline. Never affects results, only
+  /// scheduling.
+  engine::ThreadPool* epoch_pool = nullptr;
+  /// Minimum miner count before an owned pool spawns workers (see above).
+  std::size_t epoch_shard_cutoff = 8192;
 };
 
 /// Recomputes a chain's fiat block reward at a decision epoch — the
@@ -125,6 +149,7 @@ class MultiChainSimulator {
   void arm_block_race(std::size_t chain);
   void on_block(std::size_t chain);
   void decision_epoch();
+  void decision_epoch_sharded();
   void move_miner(std::size_t miner, std::size_t to_chain);
   double expected_rpu_game(std::size_t miner, std::size_t chain, bool joining) const;
 
@@ -161,6 +186,29 @@ class MultiChainSimulator {
   // share_prediction_mae — see the field's note above.
   std::vector<double> reward_per_power_;
   std::vector<double> stint_base_;
+
+  // Sharded decision epochs (options_.epoch_lanes >= 1). The evaluate
+  // phase is a pure per-miner function of the frozen pre-epoch state, so
+  // two key memoizations apply: powers_ is immutable, so a miner's best
+  // *alternative* chain under kBetterResponse depends only on its power
+  // value — per epoch we compute, per distinct power, the top-2 chains by
+  // join value (first-argmax tie rule, matching a first-wins strict-`>`
+  // scan) and each miner compares against top1 (or top2 when top1 is its
+  // own chain); kMyopicDifficulty values are power-independent, so one
+  // top-2 serves everyone. All scratch is sized once in the constructor —
+  // steady-state epochs allocate nothing.
+  struct TopTwo {
+    std::uint32_t c1, c2;  // kNoChain when absent
+    double v1, v2;
+  };
+  std::unique_ptr<engine::ThreadPool> owned_epoch_pool_;
+  engine::ThreadPool* epoch_pool_ = nullptr;
+  std::uint64_t epoch_index_ = 0;           // decision epochs completed
+  std::vector<std::uint32_t> epoch_target_; // kNoChain = stay put
+  std::vector<double> unique_powers_;       // sorted distinct power values
+  std::vector<std::uint32_t> power_class_;  // miner -> unique_powers_ index
+  std::vector<double> epoch_chain_value_;   // frozen per-chain scratch
+  std::vector<TopTwo> epoch_top2_;          // per power class (myopic: [0])
 };
 
 }  // namespace goc::chain

@@ -223,13 +223,14 @@ std::uint64_t odometer_rank(const std::vector<CoinId>& assignment,
 
 namespace {
 
-/// Canonical count of the free region given pinned prefix digits: per
-/// class, the free members (ids < free_miners, always a prefix of the
-/// class in id order) form a non-decreasing sequence bounded above by the
-/// class's first pinned digit (or the largest coin).
+/// Canonical count of the free region given the pinned digits
+/// `digits[free_miners..n)`: per class, the free members (ids <
+/// free_miners, always a prefix of the class in id order) form a
+/// non-decreasing sequence bounded above by the class's first pinned digit
+/// (or the largest coin). The free entries of `digits` are ignored.
 std::uint64_t shard_size(const System& system, const SymmetryClasses& classes,
                          std::size_t free_miners,
-                         const std::vector<std::uint32_t>& prefix) {
+                         const std::vector<std::uint32_t>& digits) {
   std::uint64_t total = 1;
   for (const auto& members : classes.classes) {
     std::size_t free_count = 0;
@@ -239,7 +240,7 @@ std::uint64_t shard_size(const System& system, const SymmetryClasses& classes,
         ++free_count;
       } else {
         // First pinned member (smallest id >= free_miners) caps the free run.
-        values = prefix[p.value - free_miners] + 1;
+        values = digits[p.value] + 1;
         break;
       }
     }
@@ -251,6 +252,34 @@ std::uint64_t shard_size(const System& system, const SymmetryClasses& classes,
 }
 
 }  // namespace
+
+std::vector<std::uint32_t> canonical_digits_at_rank(
+    const System& system, const SymmetryClasses& classes, std::uint64_t rank) {
+  const std::size_t n = system.num_miners();
+  const std::uint32_t coins = static_cast<std::uint32_t>(system.num_coins());
+  // Choose digits most-significant first: the canonical walk's visit order
+  // is lexicographic on (digit n−1, …, digit 0), and the number of
+  // canonical completions below position `pos` depends only on the digits
+  // at and above it — so each digit is found by subtracting completion
+  // blocks until the residual rank falls inside one.
+  std::vector<std::uint32_t> digits(n, 0);
+  for (std::size_t pos = n; pos-- > 0;) {
+    const std::uint32_t cap = canonical_cap(classes, digits, pos, coins);
+    bool placed = false;
+    for (std::uint32_t d = 0; d <= cap; ++d) {
+      digits[pos] = d;
+      const std::uint64_t block = shard_size(system, classes, pos, digits);
+      if (rank < block) {
+        placed = true;
+        break;
+      }
+      rank -= block;
+    }
+    GOC_ASSERT(placed, "rank beyond the canonical space");
+  }
+  GOC_ASSERT(rank == 0, "canonical unranking left a remainder");
+  return digits;
+}
 
 ShardPlan plan_shards(const System& system, const SymmetryClasses& classes,
                       std::size_t target_shards) {
@@ -279,25 +308,22 @@ ShardPlan plan_shards(const System& system, const SymmetryClasses& classes,
       if (overflow || count >= target_shards) break;
     }
   }
+  const std::size_t free_miners = n - pinned;
 
+  // Phase 1: enumerate the pinned digits canonically, least-significant
+  // pinned miner first — exactly the global odometer order. A shard's
+  // start is the prefix with the free region all-zero (the prefix's first
+  // canonical configuration).
   ShardPlan plan;
-  plan.free_miners = n - pinned;
-
-  // Enumerate the pinned digits canonically, least-significant pinned
-  // miner first — exactly the global odometer order of the prefixes.
   std::vector<std::uint32_t> digits(n, 0);
   std::uint64_t rank = 0;
   for (;;) {
-    std::vector<std::uint32_t> prefix(digits.begin() +
-                                          static_cast<std::ptrdiff_t>(plan.free_miners),
-                                      digits.end());
-    const std::uint64_t size =
-        shard_size(system, classes, plan.free_miners, prefix);
-    plan.prefixes.push_back(std::move(prefix));
+    const std::uint64_t size = shard_size(system, classes, free_miners, digits);
+    plan.starts.push_back(digits);
     plan.sizes.push_back(size);
     plan.start_ranks.push_back(rank);
     rank += size;
-    std::size_t pos = plan.free_miners;
+    std::size_t pos = free_miners;
     while (pos < n) {
       if (digits[pos] < canonical_cap(classes, digits, pos, coins)) {
         ++digits[pos];
@@ -307,6 +333,41 @@ ShardPlan plan_shards(const System& system, const SymmetryClasses& classes,
       ++pos;
     }
     if (pos == n) break;
+  }
+
+  // Phase 2: prefix sizes can be wildly uneven (one big symmetry class
+  // puts ~the whole space under a single top digit). Split every prefix
+  // exceeding the ideal per-shard load into even rank subranges, unranking
+  // each subrange's start digits — rank concatenation is unchanged, so
+  // results stay bit-identical to the unsplit plan.
+  const std::uint64_t total = rank;
+  if (target_shards > 1 && total > 0) {
+    const std::uint64_t ideal =
+        (total + target_shards - 1) / static_cast<std::uint64_t>(target_shards);
+    ShardPlan split;
+    for (std::size_t i = 0; i < plan.sizes.size(); ++i) {
+      const std::uint64_t size = plan.sizes[i];
+      if (size <= ideal) {
+        split.starts.push_back(std::move(plan.starts[i]));
+        split.sizes.push_back(size);
+        split.start_ranks.push_back(plan.start_ranks[i]);
+        continue;
+      }
+      const std::uint64_t pieces = (size + ideal - 1) / ideal;
+      const std::uint64_t base = size / pieces;
+      const std::uint64_t extra = size % pieces;  // first `extra` get +1
+      std::uint64_t piece_rank = plan.start_ranks[i];
+      for (std::uint64_t j = 0; j < pieces; ++j) {
+        const std::uint64_t piece = base + (j < extra ? 1 : 0);
+        split.starts.push_back(
+            j == 0 ? std::move(plan.starts[i])
+                   : canonical_digits_at_rank(system, classes, piece_rank));
+        split.sizes.push_back(piece);
+        split.start_ranks.push_back(piece_rank);
+        piece_rank += piece;
+      }
+    }
+    plan = std::move(split);
   }
   return plan;
 }

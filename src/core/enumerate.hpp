@@ -13,6 +13,7 @@
 #include "core/game.hpp"
 #include "core/system.hpp"
 #include "engine/thread_pool.hpp"
+#include "util/assert.hpp"
 #include "util/int128.hpp"
 
 /// \file enumerate.hpp
@@ -33,9 +34,10 @@
 ///    *canonical representatives* (coin ids non-decreasing in miner-id
 ///    order within each class), shrinking |C|^n toward the multiset count;
 ///    `expand_orbit` recovers the full orbit on demand.
-///  * **Deterministic sharding** — the odometer splits by top-digit prefix
-///    into independent shards fanned across `engine::ThreadPool`. Shards
-///    are indexed in global odometer order and sized exactly
+///  * **Deterministic sharding** — the odometer splits into consecutive
+///    rank ranges (top-digit prefixes, with oversized prefixes split
+///    further by canonical unranking) fanned across `engine::ThreadPool`.
+///    Shards are indexed in global odometer order and sized exactly
 ///    (`ShardPlan::sizes` / `start_ranks`), so per-shard results
 ///    concatenate into a result that is bit-identical at any thread count.
 ///  * **i128 predicates** — consumers check equilibrium/stability inside
@@ -160,18 +162,19 @@ struct EnumerationOptions {
   engine::ThreadPool* pool = nullptr;
 };
 
-/// A deterministic split of the canonical space by top-digit prefix.
-/// Shard i enumerates exactly the canonical configurations with ranks
-/// [start_ranks[i], start_ranks[i] + sizes[i]) in canonical odometer
+/// A deterministic split of the canonical space into consecutive rank
+/// ranges. Shard i enumerates exactly the canonical configurations with
+/// ranks [start_ranks[i], start_ranks[i] + sizes[i]) in canonical odometer
 /// order, so concatenating per-shard results in index order reproduces the
-/// serial walk bit-for-bit.
+/// serial walk bit-for-bit. The planner first cuts by top-digit prefix,
+/// then splits any prefix larger than ~ceil(total/target) into even rank
+/// subranges via canonical unranking — pathological class layouts (e.g.
+/// one giant symmetry class, where most of the space shares one top
+/// digit) no longer serialize a single lane on one oversized shard.
 struct ShardPlan {
-  /// Miners [0, free_miners) iterate inside a shard; miners
-  /// [free_miners, n) are pinned to the shard's prefix digits.
-  std::size_t free_miners = 0;
-  /// prefixes[i][j] = coin digit of miner free_miners + j, listed in
-  /// global odometer order of the prefix digits.
-  std::vector<std::vector<std::uint32_t>> prefixes;
+  /// starts[i] = full digit vector (miner -> coin) of shard i's first
+  /// canonical configuration, in global odometer order.
+  std::vector<std::vector<std::uint32_t>> starts;
   /// Canonical configurations per shard.
   std::vector<std::uint64_t> sizes;
   /// Exclusive prefix sums of `sizes` (global canonical start rank).
@@ -179,10 +182,17 @@ struct ShardPlan {
 };
 
 /// Splits the canonical space into at least `target_shards` shards when
-/// possible (never more than `target_shards`·|C|; a single shard when
-/// target_shards <= 1).
+/// possible, each of at most ~ceil(canonical/target_shards)
+/// configurations (a single shard when target_shards <= 1).
 ShardPlan plan_shards(const System& system, const SymmetryClasses& classes,
                       std::size_t target_shards);
+
+/// The full digit vector of the canonical configuration with the given
+/// canonical odometer rank — the unranking behind ShardPlan's subrange
+/// starts. O(n·|C|·classes) per call; `rank` must be < the canonical
+/// count.
+std::vector<std::uint32_t> canonical_digits_at_rank(
+    const System& system, const SymmetryClasses& classes, std::uint64_t rank);
 
 // ------------------------------------------------------------ the walk
 
@@ -225,6 +235,45 @@ bool walk_canonical_shard(const std::shared_ptr<const System>& system,
   }
 }
 
+/// Rank-range walker: visits `count` consecutive canonical configurations
+/// starting at `start` (a full digit vector that must itself be
+/// canonical), advancing the global canonical odometer one
+/// `Configuration::move` at a time. This is the walker behind `ShardPlan`;
+/// `walk_canonical_shard` stays as the prefix-pinned reference. Returns
+/// false iff `visit` aborted.
+template <typename Visit>
+bool walk_canonical_range(const std::shared_ptr<const System>& system,
+                          const SymmetryClasses& classes,
+                          const std::vector<std::uint32_t>& start,
+                          std::uint64_t count, Visit&& visit) {
+  if (count == 0) return true;
+  const std::size_t n = system->num_miners();
+  const std::uint32_t coins = static_cast<std::uint32_t>(system->num_coins());
+  std::vector<std::uint32_t> digits = start;
+  std::vector<CoinId> assignment;
+  assignment.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) assignment.emplace_back(digits[i]);
+  Configuration config(system, std::move(assignment));
+  for (;;) {
+    if (!visit(static_cast<const Configuration&>(config))) return false;
+    if (--count == 0) return true;
+    std::size_t pos = 0;
+    while (pos < n) {
+      if (digits[pos] < canonical_cap(classes, digits, pos, coins)) {
+        ++digits[pos];
+        config.move(MinerId(static_cast<std::uint32_t>(pos)), CoinId(digits[pos]));
+        break;
+      }
+      if (digits[pos] != 0) {
+        digits[pos] = 0;
+        config.move(MinerId(static_cast<std::uint32_t>(pos)), CoinId(0));
+      }
+      ++pos;
+    }
+    GOC_ASSERT(pos < n, "rank range ran past the canonical space");
+  }
+}
+
 /// Effective lane count for `opts` over a canonical space of `canonical`
 /// configurations: the pool's lanes (or `opts.threads`), clamped to 1
 /// below the serial cutoff.
@@ -255,12 +304,12 @@ auto run_shards(const ShardPlan& plan, const EnumerationOptions& opts,
     -> std::vector<std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>> {
   using State = std::decay_t<std::invoke_result_t<MakeState&, std::size_t>>;
   std::vector<State> states;
-  states.reserve(plan.prefixes.size());
-  for (std::size_t i = 0; i < plan.prefixes.size(); ++i) {
+  states.reserve(plan.sizes.size());
+  for (std::size_t i = 0; i < plan.sizes.size(); ++i) {
     states.push_back(make_state(i));
   }
   const auto run = [&](engine::ThreadPool& pool) {
-    pool.parallel_for(plan.prefixes.size(),
+    pool.parallel_for(plan.sizes.size(),
                       [&](std::size_t i) { walk_shard(states[i], i); });
   };
   if (opts.pool != nullptr && lanes > 1) {
@@ -283,7 +332,7 @@ auto enumerate_planned(const std::shared_ptr<const System>& system,
   return enumeration_detail::run_shards(
       plan, opts, lanes, std::forward<MakeState>(make_state),
       [&](auto& state, std::size_t i) {
-        walk_canonical_shard(system, classes, plan.free_miners, plan.prefixes[i],
+        walk_canonical_range(system, classes, plan.starts[i], plan.sizes[i],
                              [&](const Configuration& s) {
                                return visit(state, s, i);
                              });
@@ -376,6 +425,52 @@ bool walk_canonical_shard_integer(const IntegerGameView& view,
   }
 }
 
+/// `walk_canonical_range` on raw integers: same global canonical odometer,
+/// same order, countdown instead of prefix pinning.
+template <typename Visit>
+bool walk_canonical_range_integer(const IntegerGameView& view,
+                                  const SymmetryClasses& classes,
+                                  std::size_t num_coins,
+                                  const std::vector<std::uint32_t>& start,
+                                  std::uint64_t count, Visit&& visit) {
+  if (count == 0) return true;
+  const std::size_t n = view.power.size();
+  const std::uint32_t coins = static_cast<std::uint32_t>(num_coins);
+  IntegerWalkState st;
+  st.digits = start;
+  st.mass.assign(coins, 0);
+  st.population.assign(coins, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    st.mass[st.digits[i]] += view.power[i];
+    ++st.population[st.digits[i]];
+  }
+  for (;;) {
+    if (!visit(static_cast<const IntegerWalkState&>(st))) return false;
+    if (--count == 0) return true;
+    std::size_t pos = 0;
+    while (pos < n) {
+      const std::uint32_t from = st.digits[pos];
+      if (from < canonical_cap(classes, st.digits, pos, coins)) {
+        st.mass[from] -= view.power[pos];
+        --st.population[from];
+        st.digits[pos] = from + 1;
+        st.mass[from + 1] += view.power[pos];
+        ++st.population[from + 1];
+        break;
+      }
+      if (from != 0) {
+        st.mass[from] -= view.power[pos];
+        --st.population[from];
+        st.digits[pos] = 0;
+        st.mass[0] += view.power[pos];
+        ++st.population[0];
+      }
+      ++pos;
+    }
+    GOC_ASSERT(pos < n, "rank range ran past the canonical space");
+  }
+}
+
 /// `enumerate_planned` over the integer walker.
 template <typename MakeState, typename Visit>
 auto enumerate_planned_integer(const IntegerGameView& view,
@@ -387,8 +482,8 @@ auto enumerate_planned_integer(const IntegerGameView& view,
   return enumeration_detail::run_shards(
       plan, opts, lanes, std::forward<MakeState>(make_state),
       [&](auto& state, std::size_t i) {
-        walk_canonical_shard_integer(view, classes, num_coins, plan.free_miners,
-                                     plan.prefixes[i],
+        walk_canonical_range_integer(view, classes, num_coins, plan.starts[i],
+                                     plan.sizes[i],
                                      [&](const IntegerWalkState& st) {
                                        return visit(state, st, i);
                                      });

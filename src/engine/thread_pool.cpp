@@ -77,6 +77,26 @@ void ThreadPool::parallel_for(std::size_t count,
   if (first_error->load()) std::rethrow_exception(*error);
 }
 
+void ThreadPool::parallel_for_chunks(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks <= 1) {
+    fn(0, count);
+    return;
+  }
+  const auto run_chunk = [&](std::size_t c) {
+    fn(c * grain, std::min(count, (c + 1) * grain));
+  };
+  if (workers_.empty()) {
+    for (std::size_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+  parallel_for(chunks, run_chunk);
+}
+
 std::size_t ThreadPool::default_threads() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : static_cast<std::size_t>(hw);

@@ -67,6 +67,18 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Chunked variant: runs `fn(begin, end)` over contiguous subranges of
+  /// [0, count) of at most `grain` indices each, so per-element work that
+  /// is too cheap for one-task-per-index dispatch (a sharded decision-epoch
+  /// scan, a big memo fill) pays one dispatch per chunk instead. Chunks are
+  /// handed out through the same shared cursor as `parallel_for`; the
+  /// inline (0-worker) pool visits them in ascending order. Callers must
+  /// not depend on the partition: correctness requires `fn` to be a pure
+  /// per-index computation with disjoint writes, exactly the contract that
+  /// makes results bit-identical at any thread count.
+  void parallel_for_chunks(std::size_t count, std::size_t grain,
+                           const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// `max(1, hardware_concurrency)` — the default worker count for sweeps.
   static std::size_t default_threads();
 

@@ -11,13 +11,53 @@
 
 namespace goc::sim {
 
+const char* stop_reason_name(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kFixedReplicas:
+      return "fixed";
+    case StopReason::kToleranceMet:
+      return "tolerance";
+    case StopReason::kMaxReplicas:
+      return "max-replicas";
+  }
+  return "unknown";
+}
+
+NestedLanePlan plan_nested_lanes(std::size_t replicas, std::size_t lanes,
+                                 std::size_t miners,
+                                 std::size_t epoch_cutoff) noexcept {
+  NestedLanePlan plan;
+  if (lanes == 0) lanes = engine::ThreadPool::default_threads();
+  if (lanes <= 1) return plan;  // serial everywhere: {1, 1}
+  if (miners < epoch_cutoff) {
+    plan.replica_lanes = lanes;  // population too small to shard an epoch
+    return plan;
+  }
+  // Both levels could use the pool; give it to the replica fan-out whenever
+  // the batch is wide enough to keep at least half the lanes busy (replica
+  // parallelism has no serial apply phase, so it scales strictly better).
+  // Only a batch too narrow to feed the lanes hands the pool down to the
+  // epoch evaluate shards.
+  if (replicas * 2 >= lanes) {
+    plan.replica_lanes = lanes;
+  } else {
+    plan.epoch_lanes = lanes;
+  }
+  return plan;
+}
+
 TrajectoryBatchResult::TrajectoryBatchResult(
     std::vector<std::string> metric_names, std::size_t replicas,
-    std::vector<double> values, std::uint64_t root_seed)
+    std::vector<double> values, std::uint64_t root_seed,
+    std::size_t replicas_requested, StopReason stop_reason)
     : names_(std::move(metric_names)),
       replicas_(replicas),
       root_seed_(root_seed),
+      replicas_requested_(replicas_requested == 0 ? replicas
+                                                  : replicas_requested),
+      stop_reason_(stop_reason),
       values_(std::move(values)) {
+  GOC_CHECK_ARG(replicas_ >= 1, "a batch needs at least one replica");
   GOC_CHECK_ARG(!names_.empty(), "a batch needs at least one metric");
   GOC_CHECK_ARG(values_.size() == replicas_ * names_.size(),
                 "value matrix arity mismatch");
@@ -97,14 +137,38 @@ TrajectoryBatchResult run_trajectory_batch(
     const TrajectoryBatchOptions& options,
     const std::function<std::vector<double>(std::size_t replica,
                                             std::uint64_t seed)>& replica) {
-  GOC_CHECK_ARG(options.replicas >= 1, "a batch needs at least one replica");
   GOC_CHECK_ARG(replica != nullptr, "a batch needs a replica function");
   const std::size_t metrics = metric_names.size();
   GOC_CHECK_ARG(metrics >= 1, "a batch needs at least one metric");
 
-  std::vector<double> values(options.replicas * metrics, 0.0);
-  const auto run_all = [&](engine::ThreadPool& pool) {
-    pool.parallel_for(options.replicas, [&](std::size_t r) {
+  std::size_t metric_index = 0;
+  std::size_t requested = options.replicas;
+  if (options.stopping.has_value()) {
+    const StoppingRule& rule = *options.stopping;
+    GOC_CHECK_ARG(std::isfinite(rule.tolerance) && rule.tolerance >= 0.0,
+                  "stopping tolerance must be finite and non-negative");
+    GOC_CHECK_ARG(rule.min_replicas >= 2,
+                  "stopping needs min_replicas >= 2 (a CI needs a variance)");
+    GOC_CHECK_ARG(rule.max_replicas >= rule.min_replicas,
+                  "stopping needs max_replicas >= min_replicas");
+    GOC_CHECK_ARG(rule.wave >= 1, "stopping needs a wave of >= 1 replicas");
+    const auto it =
+        std::find(metric_names.begin(), metric_names.end(), rule.metric);
+    GOC_CHECK_ARG(it != metric_names.end(),
+                  "stopping metric is not one of the batch's metrics");
+    metric_index = static_cast<std::size_t>(it - metric_names.begin());
+    requested = rule.max_replicas;
+  } else {
+    GOC_CHECK_ARG(options.replicas >= 1, "a batch needs at least one replica");
+  }
+
+  // Slot writes into a pre-sized matrix: replica r's value row depends only
+  // on (root_seed, r), never on scheduling.
+  std::vector<double> values(requested * metrics, 0.0);
+  const auto run_range = [&](engine::ThreadPool& pool, std::size_t begin,
+                             std::size_t end) {
+    pool.parallel_for(end - begin, [&](std::size_t k) {
+      const std::size_t r = begin + k;
       const std::uint64_t seed = engine::task_seed(options.root_seed, r, 0);
       const std::vector<double> row = replica(r, seed);
       GOC_CHECK_ARG(row.size() == metrics,
@@ -112,16 +176,59 @@ TrajectoryBatchResult run_trajectory_batch(
       std::copy(row.begin(), row.end(), values.begin() + r * metrics);
     });
   };
-  if (options.pool != nullptr) {
-    run_all(*options.pool);
-  } else {
+
+  std::optional<engine::ThreadPool> owned;
+  engine::ThreadPool* pool = options.pool;
+  if (pool == nullptr) {
     const std::size_t lanes =
         engine::ThreadPool::resolve_lanes(options.threads);
-    engine::ThreadPool pool(engine::ThreadPool::workers_for(lanes));
-    run_all(pool);
+    owned.emplace(engine::ThreadPool::workers_for(lanes));
+    pool = &*owned;
   }
-  return TrajectoryBatchResult(std::move(metric_names), options.replicas,
-                               std::move(values), options.root_seed);
+
+  std::size_t run_count = 0;
+  StopReason reason = StopReason::kFixedReplicas;
+  if (!options.stopping.has_value()) {
+    run_range(*pool, 0, requested);
+    run_count = requested;
+  } else {
+    const StoppingRule& rule = *options.stopping;
+    reason = StopReason::kMaxReplicas;
+    while (run_count < rule.max_replicas) {
+      // Wave boundaries depend only on (min_replicas, max_replicas, wave):
+      // the first wave jumps straight to min_replicas, later ones add a
+      // fixed `wave` — never a lane-count-derived amount.
+      const std::size_t next =
+          run_count == 0 ? rule.min_replicas
+                         : std::min(rule.max_replicas, run_count + rule.wave);
+      run_range(*pool, run_count, next);
+      run_count = next;
+      // Welford over the replica-ordered prefix [0, run_count): the stop
+      // decision is a pure function of the prefix, so the chosen R is
+      // identical at any thread count.
+      double mean = 0.0;
+      double m2 = 0.0;
+      for (std::size_t r = 0; r < run_count; ++r) {
+        const double x = values[r * metrics + metric_index];
+        const double delta = x - mean;
+        mean += delta / static_cast<double>(r + 1);
+        m2 += delta * (x - mean);
+      }
+      const double variance = m2 / static_cast<double>(run_count - 1);
+      const double ci = 1.959963984540054 * std::sqrt(variance) /
+                        std::sqrt(static_cast<double>(run_count));
+      const double bound =
+          rule.relative ? rule.tolerance * std::abs(mean) : rule.tolerance;
+      if (ci <= bound) {
+        reason = StopReason::kToleranceMet;
+        break;
+      }
+    }
+    values.resize(run_count * metrics);
+  }
+  return TrajectoryBatchResult(std::move(metric_names), run_count,
+                               std::move(values), options.root_seed, requested,
+                               reason);
 }
 
 // ------------------------------------------------------- simulator adapters

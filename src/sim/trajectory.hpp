@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -31,7 +32,51 @@ class ThreadPool;  // engine/thread_pool.hpp
 
 namespace goc::sim {
 
+/// CI-driven sequential stopping: instead of always running a fixed R,
+/// the batch spawns replicas in deterministic waves and stops as soon as
+/// the 95% CI half-width of `metric` — computed by a Welford pass over the
+/// replica-ordered prefix [0, replicas_run) — drops to `tolerance`.
+///
+/// Determinism contract: replica r's seed and value are the same pure
+/// function of (root_seed, r) as in the fixed-R path, waves are a pure
+/// function of (min_replicas, max_replicas, wave), and the stop check runs
+/// over replica-ordered prefixes at wave boundaries only — so the chosen R
+/// and every emitted value are bit-identical at any thread count.
+struct StoppingRule {
+  /// Metric whose CI drives the stop (must be one of the batch's metrics).
+  std::string metric;
+  /// Target 95% CI half-width. 0 is legal and stops only on zero variance
+  /// (otherwise the batch escalates to max_replicas); must be finite and
+  /// non-negative.
+  double tolerance = 0.0;
+  /// Interpret `tolerance` as a fraction of |prefix mean| instead of an
+  /// absolute half-width (a zero mean then behaves like tolerance 0).
+  bool relative = false;
+  /// First stop check happens at this many replicas (>= 2: a CI needs a
+  /// variance estimate).
+  std::size_t min_replicas = 8;
+  /// Hard ceiling: the batch reports StopReason::kMaxReplicas when the
+  /// tolerance was never met.
+  std::size_t max_replicas = 1024;
+  /// Replicas added per wave between stop checks. A *fixed* count, never
+  /// derived from the lane count — that is what keeps the chosen R
+  /// thread-invariant.
+  std::size_t wave = 16;
+};
+
+/// Why a batch stopped at its final replica count.
+enum class StopReason {
+  kFixedReplicas,  ///< no stopping rule: the requested R ran exhaustively
+  kToleranceMet,   ///< CI half-width reached the tolerance at a wave check
+  kMaxReplicas,    ///< rule enabled but the ceiling hit first
+};
+
+/// Stable display name ("fixed" / "tolerance" / "max-replicas").
+const char* stop_reason_name(StopReason reason) noexcept;
+
 struct TrajectoryBatchOptions {
+  /// Fixed replica count when no stopping rule is set; ignored (the rule's
+  /// min/max govern) when `stopping` is engaged. Must be >= 1.
   std::size_t replicas = 32;
   /// Root of the per-replica seed derivation (engine::task_seed).
   std::uint64_t root_seed = 2021;
@@ -41,7 +86,26 @@ struct TrajectoryBatchOptions {
   /// Reuse an existing pool (e.g. the sweep engine's) instead of spawning
   /// one per batch.
   engine::ThreadPool* pool = nullptr;
+  /// Adaptive sequential stopping; disengaged by default (fixed R).
+  std::optional<StoppingRule> stopping;
 };
+
+/// Splits one shared pool's lanes between the two parallelism levels of a
+/// Monte Carlo study: replica fan-out vs intra-replica decision-epoch
+/// sharding (`ChainSimOptions::epoch_lanes`). Exactly one level gets the
+/// pool — nesting `parallel_for` on a shared pool can deadlock (lanes
+/// blocked on futures do not drain the queue), and two live levels would
+/// oversubscribe anyway. Wide batches keep every lane at replica level; a
+/// batch narrower than the lane count whose population clears the sharding
+/// cutoff hands the whole pool to the epoch evaluate phase instead. The
+/// choice is pure scheduling: results are bit-identical either way.
+struct NestedLanePlan {
+  std::size_t replica_lanes = 1;  ///< TrajectoryBatchOptions::threads
+  std::size_t epoch_lanes = 1;    ///< ChainSimOptions::epoch_lanes
+};
+NestedLanePlan plan_nested_lanes(std::size_t replicas, std::size_t lanes,
+                                 std::size_t miners,
+                                 std::size_t epoch_cutoff) noexcept;
 
 /// Per-metric summary over the replicas (normal-approximation CI).
 struct MetricSummary {
@@ -57,11 +121,18 @@ struct MetricSummary {
 
 /// The outcome of a Monte Carlo batch: the replica×metric value matrix
 /// (replica-major) plus per-metric summaries computed in replica order.
+/// Adaptive batches additionally record provenance: how many replicas the
+/// rule would have allowed (`replicas_requested` = max_replicas) vs how
+/// many actually ran, and why the batch stopped.
 class TrajectoryBatchResult {
  public:
+  /// `replicas_requested` defaults to `replicas` (fixed-R batches request
+  /// exactly what they run); pass 0 for the same effect.
   TrajectoryBatchResult(std::vector<std::string> metric_names,
                         std::size_t replicas, std::vector<double> values,
-                        std::uint64_t root_seed);
+                        std::uint64_t root_seed,
+                        std::size_t replicas_requested = 0,
+                        StopReason stop_reason = StopReason::kFixedReplicas);
 
   const std::vector<std::string>& metric_names() const noexcept {
     return names_;
@@ -69,6 +140,11 @@ class TrajectoryBatchResult {
   std::size_t replicas() const noexcept { return replicas_; }
   std::size_t metrics() const noexcept { return names_.size(); }
   std::uint64_t root_seed() const noexcept { return root_seed_; }
+  /// Ceiling the batch was allowed (fixed R, or the rule's max_replicas).
+  std::size_t replicas_requested() const noexcept {
+    return replicas_requested_;
+  }
+  StopReason stop_reason() const noexcept { return stop_reason_; }
 
   double value(std::size_t replica, std::size_t metric) const {
     return values_[replica * names_.size() + metric];
@@ -93,6 +169,8 @@ class TrajectoryBatchResult {
   std::vector<std::string> names_;
   std::size_t replicas_;
   std::uint64_t root_seed_;
+  std::size_t replicas_requested_;
+  StopReason stop_reason_;
   std::vector<double> values_;  ///< replicas × metrics, replica-major
   std::vector<MetricSummary> summaries_;
 };

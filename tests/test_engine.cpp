@@ -45,6 +45,66 @@ TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
   }
 }
 
+TEST(ThreadPool, ParallelForChunksCoversEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {std::size_t{0}, std::size_t{4}}) {
+    for (const std::size_t grain :
+         {std::size_t{1}, std::size_t{7}, std::size_t{256}, std::size_t{5000}}) {
+      ThreadPool pool(threads);
+      constexpr std::size_t kCount = 1000;
+      std::vector<std::atomic<int>> visits(kCount);
+      pool.parallel_for_chunks(kCount, grain,
+                               [&](std::size_t begin, std::size_t end) {
+                                 ASSERT_LE(begin, end);
+                                 ASSERT_LE(end, kCount);
+                                 for (std::size_t i = begin; i < end; ++i) {
+                                   ++visits[i];
+                                 }
+                               });
+      for (std::size_t i = 0; i < kCount; ++i) {
+        ASSERT_EQ(visits[i].load(), 1)
+            << "threads=" << threads << " grain=" << grain << " index=" << i;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksHandlesDegenerateArguments) {
+  ThreadPool pool(2);
+  // Empty range: the callback never fires.
+  pool.parallel_for_chunks(0, 16, [](std::size_t, std::size_t) { FAIL(); });
+  // Grain 0 is clamped to 1 rather than dividing by zero.
+  std::vector<std::atomic<int>> visits(5);
+  pool.parallel_for_chunks(5, 0, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) ++visits[i];
+  });
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(visits[i].load(), 1);
+  // A grain covering the whole range runs as one direct call.
+  std::atomic<int> calls{0};
+  pool.parallel_for_chunks(10, 100, [&](std::size_t begin, std::size_t end) {
+    EXPECT_EQ(begin, 0u);
+    EXPECT_EQ(end, 10u);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForChunksMatchesSerialAccumulation) {
+  // Disjoint chunk writes into a plain vector must land identically with
+  // and without workers.
+  const auto run_with = [](std::size_t threads) {
+    ThreadPool pool(threads);
+    std::vector<double> out(777, 0.0);
+    pool.parallel_for_chunks(out.size(), 64,
+                             [&](std::size_t begin, std::size_t end) {
+                               for (std::size_t i = begin; i < end; ++i) {
+                                 out[i] = static_cast<double>(i) * 1.5 + 0.25;
+                               }
+                             });
+    return out;
+  };
+  EXPECT_EQ(run_with(0), run_with(4));
+}
+
 TEST(ThreadPool, ParallelForPropagatesExceptions) {
   ThreadPool pool(2);
   EXPECT_THROW(pool.parallel_for(

@@ -180,26 +180,25 @@ TEST(CanonicalWalk, VisitsExactlyTheCanonicalRepresentatives) {
   EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
 }
 
-TEST(ShardPlan, ShardsPartitionTheCanonicalSpace) {
-  Game g(System::from_integer_powers({2, 2, 2, 9, 5}, 3),
-         RewardFunction::from_integers({4, 5, 6}));
-  const SymmetryClasses classes = symmetry_classes(g);
-  // Serial reference sequence.
+/// Replays `plan` through the rank-range walker and checks the shards
+/// partition the canonical space exactly: start ranks are the running
+/// prefix sum, each shard visits exactly `sizes[i]` configurations, and
+/// the index-order concatenation reproduces the serial walk bit-for-bit.
+void expect_plan_partitions(const Game& g, const SymmetryClasses& classes,
+                            const ShardPlan& plan) {
   std::vector<std::vector<CoinId>> serial;
   walk_canonical_shard(g.system_ptr(), classes, g.num_miners(), {},
                        [&](const Configuration& s) {
                          serial.push_back(s.assignment());
                          return true;
                        });
-  const ShardPlan plan = plan_shards(g.system(), classes, 8);
-  ASSERT_GE(plan.prefixes.size(), 8u);
   std::vector<std::vector<CoinId>> sharded;
   std::uint64_t total = 0;
-  for (std::size_t i = 0; i < plan.prefixes.size(); ++i) {
-    EXPECT_EQ(plan.start_ranks[i], total);
+  for (std::size_t i = 0; i < plan.sizes.size(); ++i) {
+    EXPECT_EQ(plan.start_ranks[i], total) << "shard " << i;
     std::uint64_t in_shard = 0;
-    walk_canonical_shard(g.system_ptr(), classes, plan.free_miners,
-                         plan.prefixes[i], [&](const Configuration& s) {
+    walk_canonical_range(g.system_ptr(), classes, plan.starts[i],
+                         plan.sizes[i], [&](const Configuration& s) {
                            sharded.push_back(s.assignment());
                            ++in_shard;
                            return true;
@@ -208,6 +207,57 @@ TEST(ShardPlan, ShardsPartitionTheCanonicalSpace) {
     total += in_shard;
   }
   EXPECT_EQ(sharded, serial);
+}
+
+TEST(ShardPlan, ShardsPartitionTheCanonicalSpace) {
+  Game g(System::from_integer_powers({2, 2, 2, 9, 5}, 3),
+         RewardFunction::from_integers({4, 5, 6}));
+  const SymmetryClasses classes = symmetry_classes(g);
+  const ShardPlan plan = plan_shards(g.system(), classes, 8);
+  ASSERT_GE(plan.sizes.size(), 8u);
+  expect_plan_partitions(g, classes, plan);
+}
+
+TEST(ShardPlan, SplitsOversizedPrefixesOnUnbalancedLayouts) {
+  // One giant symmetry class: 12 equal miners over 3 coins (canonical
+  // space C(14,12) = 91). A pinned top digit caps the whole class's
+  // non-decreasing run, so the all-2s prefix alone holds 55/91 ≈ 60% of
+  // the space — exactly the layout that used to serialize one lane. Rank
+  // splitting must bound every shard near the ideal even load.
+  Game g(System::from_integer_powers({5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5}, 3),
+         RewardFunction::from_integers({4, 5, 6}));
+  const SymmetryClasses classes = symmetry_classes(g);
+  ASSERT_EQ(classes.classes.size(), 1u);
+  const auto canonical = canonical_count(g.system(), classes);
+  ASSERT_TRUE(canonical.has_value());
+  ASSERT_EQ(*canonical, 91u);  // C(12+2,12)
+
+  const std::size_t target = 8;
+  const ShardPlan plan = plan_shards(g.system(), classes, target);
+  ASSERT_GE(plan.sizes.size(), target);
+  const std::uint64_t ideal = (*canonical + target - 1) / target;
+  for (std::size_t i = 0; i < plan.sizes.size(); ++i) {
+    EXPECT_LE(plan.sizes[i], ideal) << "shard " << i;
+  }
+  expect_plan_partitions(g, classes, plan);
+}
+
+TEST(ShardPlan, CanonicalUnrankingMatchesWalkOrder) {
+  Game g(System::from_integer_powers({2, 2, 7, 7, 3}, 3),
+         RewardFunction::from_integers({4, 5, 6}));
+  const SymmetryClasses classes = symmetry_classes(g);
+  std::uint64_t rank = 0;
+  walk_canonical_shard(g.system_ptr(), classes, g.num_miners(), {},
+                       [&](const Configuration& s) {
+                         const auto digits =
+                             canonical_digits_at_rank(g.system(), classes, rank);
+                         for (std::uint32_t p = 0; p < g.num_miners(); ++p) {
+                           EXPECT_EQ(digits[p], s.of(MinerId(p)).value)
+                               << "rank " << rank << " miner " << p;
+                         }
+                         ++rank;
+                         return true;
+                       });
 }
 
 TEST(Orbits, SizesPartitionTheFullSpace) {

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <memory>
 #include <new>
 #include <vector>
@@ -531,6 +532,300 @@ TEST(Trajectory, ScenarioBatchMatchesHandWrittenFactory) {
   const auto first = proto.make_simulator(99).run();
   const auto second = proto.make_simulator(99).run();
   expect_market_records_equal(first, second);
+}
+
+// ------------------------------------------------- sequential stopping
+
+TEST(Trajectory, StoppingStopsAtAWaveBoundary) {
+  // Replica value r%2: the prefix CI shrinks like 1/sqrt(n). At the first
+  // check (n = 4) the 95% half-width is 1.96·0.577/2 ≈ 0.566 > 0.5; one
+  // wave later (n = 8) it is ≈ 0.370 <= 0.5 — so the rule must stop at
+  // exactly 8, never in between.
+  TrajectoryBatchOptions options;
+  options.threads = 1;
+  StoppingRule rule;
+  rule.metric = "x";
+  rule.tolerance = 0.5;
+  rule.min_replicas = 4;
+  rule.max_replicas = 64;
+  rule.wave = 4;
+  options.stopping = rule;
+  const TrajectoryBatchResult result = run_trajectory_batch(
+      {"x"}, options, [](std::size_t r, std::uint64_t) {
+        return std::vector<double>{static_cast<double>(r % 2)};
+      });
+  EXPECT_EQ(result.replicas(), 8u);
+  EXPECT_EQ(result.replicas_requested(), 64u);
+  EXPECT_EQ(result.stop_reason(), StopReason::kToleranceMet);
+  EXPECT_STREQ(stop_reason_name(result.stop_reason()), "tolerance");
+}
+
+TEST(Trajectory, StoppingDegenerateTolerances) {
+  TrajectoryBatchOptions options;
+  options.threads = 1;
+  StoppingRule rule;
+  rule.metric = "x";
+  rule.tolerance = 0.0;
+  rule.min_replicas = 3;
+  rule.max_replicas = 12;
+  rule.wave = 3;
+  options.stopping = rule;
+  // Tolerance 0 on a zero-variance metric: met at the very first check.
+  const TrajectoryBatchResult constant = run_trajectory_batch(
+      {"x"}, options,
+      [](std::size_t, std::uint64_t) { return std::vector<double>{7.0}; });
+  EXPECT_EQ(constant.replicas(), 3u);
+  EXPECT_EQ(constant.stop_reason(), StopReason::kToleranceMet);
+  // Tolerance 0 on a noisy metric: escalates to the ceiling.
+  const TrajectoryBatchResult noisy = run_trajectory_batch(
+      {"x"}, options, [](std::size_t r, std::uint64_t) {
+        return std::vector<double>{static_cast<double>(r % 2)};
+      });
+  EXPECT_EQ(noisy.replicas(), 12u);
+  EXPECT_EQ(noisy.replicas_requested(), 12u);
+  EXPECT_EQ(noisy.stop_reason(), StopReason::kMaxReplicas);
+  EXPECT_STREQ(stop_reason_name(noisy.stop_reason()), "max-replicas");
+}
+
+TEST(Trajectory, StoppingThreadInvarianceViaExplicitPools) {
+  // The chosen R and every emitted value must be a pure function of the
+  // replica-ordered prefix — identical whether the waves ran on 1, 4, or
+  // 16 lanes.
+  const auto run_with = [](engine::ThreadPool& pool) {
+    TrajectoryBatchOptions options;
+    options.root_seed = 7;
+    options.pool = &pool;
+    StoppingRule rule;
+    rule.metric = "blocks_total";
+    rule.tolerance = 0.05;
+    rule.relative = true;
+    rule.min_replicas = 6;
+    rule.max_replicas = 36;
+    rule.wave = 6;
+    options.stopping = rule;
+    return run_chain_batch(
+        [](std::uint64_t seed) {
+          std::vector<chain::ChainSpec> chains;
+          chains.push_back(make_chain("heavy", 600.0, 30.0));
+          chains.push_back(make_chain("light", 600.0, 10.0));
+          chain::ChainSimOptions options;
+          options.duration_hours = 24.0 * 2;
+          options.reevaluation_fraction = 0.5;
+          options.seed = seed;
+          options.record_timeline = false;
+          return chain::MultiChainSimulator({30.0, 20.0, 10.0, 5.0},
+                                            std::move(chains), options);
+        },
+        options);
+  };
+  engine::ThreadPool serial(0);
+  engine::ThreadPool mid(3);
+  engine::ThreadPool wide(15);
+  const TrajectoryBatchResult a = run_with(serial);
+  const TrajectoryBatchResult b = run_with(mid);
+  const TrajectoryBatchResult c = run_with(wide);
+  EXPECT_EQ(a.replicas(), b.replicas());
+  EXPECT_EQ(a.replicas(), c.replicas());
+  EXPECT_EQ(a.stop_reason(), b.stop_reason());
+  EXPECT_EQ(a.stop_reason(), c.stop_reason());
+  EXPECT_TRUE(a.deterministic_equals(b));
+  EXPECT_TRUE(a.deterministic_equals(c));
+  EXPECT_EQ(a.values_hash(), b.values_hash());
+  EXPECT_EQ(a.values_hash(), c.values_hash());
+  EXPECT_GE(a.replicas(), 6u);
+  EXPECT_LE(a.replicas(), 36u);
+}
+
+TEST(Trajectory, StoppingRespectsMinReplicas) {
+  // Even a zero-variance metric never stops before min_replicas.
+  TrajectoryBatchOptions options;
+  options.threads = 1;
+  StoppingRule rule;
+  rule.metric = "x";
+  rule.tolerance = 1e9;
+  rule.min_replicas = 10;
+  rule.max_replicas = 40;
+  options.stopping = rule;
+  const TrajectoryBatchResult result = run_trajectory_batch(
+      {"x"}, options,
+      [](std::size_t, std::uint64_t) { return std::vector<double>{1.0}; });
+  EXPECT_EQ(result.replicas(), 10u);
+}
+
+TEST(Trajectory, StoppingMatchesFixedRunPrefix) {
+  // Replica seeds do not depend on the stopping rule, so an adaptive batch
+  // is a bit-identical prefix of the fixed-R batch over the same root seed.
+  const auto value_at = [](std::size_t r, std::uint64_t seed) {
+    return std::vector<double>{static_cast<double>(seed >> 40) +
+                               (r % 3 == 0 ? 0.5 : 0.0)};
+  };
+  TrajectoryBatchOptions fixed;
+  fixed.threads = 1;
+  fixed.root_seed = 17;
+  fixed.replicas = 32;
+  const TrajectoryBatchResult full =
+      run_trajectory_batch({"x"}, fixed, value_at);
+  TrajectoryBatchOptions adaptive = fixed;
+  StoppingRule rule;
+  rule.metric = "x";
+  rule.relative = true;
+  rule.tolerance = 0.001;
+  rule.min_replicas = 8;
+  rule.max_replicas = 32;
+  rule.wave = 8;
+  adaptive.stopping = rule;
+  const TrajectoryBatchResult stopped =
+      run_trajectory_batch({"x"}, adaptive, value_at);
+  ASSERT_LE(stopped.replicas(), full.replicas());
+  for (std::size_t r = 0; r < stopped.replicas(); ++r) {
+    EXPECT_EQ(stopped.value(r, 0), full.value(r, 0)) << "replica " << r;
+  }
+}
+
+TEST(Trajectory, ValidationRejectsBadOptions) {
+  const auto run_one = [](const TrajectoryBatchOptions& options) {
+    return run_trajectory_batch(
+        {"x"}, options,
+        [](std::size_t, std::uint64_t) { return std::vector<double>{1.0}; });
+  };
+  TrajectoryBatchOptions options;
+  options.threads = 1;
+  options.replicas = 0;
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+  options.replicas = 2;
+
+  StoppingRule rule;
+  rule.metric = "x";
+  rule.tolerance = 0.1;
+  options.stopping = rule;
+  EXPECT_NO_THROW(run_one(options));
+  options.stopping->tolerance = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+  options.stopping->tolerance = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+  options.stopping->tolerance = -0.5;
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+  options.stopping->tolerance = 0.1;
+  options.stopping->metric = "nope";
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+  options.stopping->metric = "x";
+  options.stopping->min_replicas = 1;
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+  options.stopping->min_replicas = 8;
+  options.stopping->max_replicas = 4;
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+  options.stopping->max_replicas = 1024;
+  options.stopping->wave = 0;
+  EXPECT_THROW(run_one(options), std::invalid_argument);
+
+  // The result type itself rejects an empty batch.
+  EXPECT_THROW(TrajectoryBatchResult({"x"}, 0, {}, 0), std::invalid_argument);
+}
+
+TEST(Trajectory, ProvenanceDefaultsForFixedBatches) {
+  const TrajectoryBatchResult result({"x"}, 3, {1.0, 2.0, 3.0}, 0);
+  EXPECT_EQ(result.replicas_requested(), 3u);
+  EXPECT_EQ(result.stop_reason(), StopReason::kFixedReplicas);
+  EXPECT_STREQ(stop_reason_name(result.stop_reason()), "fixed");
+}
+
+TEST(Trajectory, PlanNestedLanesGivesThePoolToExactlyOneLevel) {
+  // Serial: nobody gets lanes.
+  NestedLanePlan plan = plan_nested_lanes(8, 1, 200000, 8192);
+  EXPECT_EQ(plan.replica_lanes, 1u);
+  EXPECT_EQ(plan.epoch_lanes, 1u);
+  // Small population: sharding can't pay off, replicas take the pool.
+  plan = plan_nested_lanes(2, 8, 1000, 8192);
+  EXPECT_EQ(plan.replica_lanes, 8u);
+  EXPECT_EQ(plan.epoch_lanes, 1u);
+  // Wide batch over a big population: replica fan-out still wins.
+  plan = plan_nested_lanes(32, 8, 200000, 8192);
+  EXPECT_EQ(plan.replica_lanes, 8u);
+  EXPECT_EQ(plan.epoch_lanes, 1u);
+  // Narrow batch over a big population: the epoch shards get the pool.
+  plan = plan_nested_lanes(1, 8, 200000, 8192);
+  EXPECT_EQ(plan.replica_lanes, 1u);
+  EXPECT_EQ(plan.epoch_lanes, 8u);
+  // Never both >1 — nested parallel_for on one shared pool can deadlock.
+  for (std::size_t replicas : {1u, 3u, 8u, 64u}) {
+    for (std::size_t miners : {100u, 10000u, 1000000u}) {
+      const NestedLanePlan p = plan_nested_lanes(replicas, 8, miners, 8192);
+      EXPECT_TRUE(p.replica_lanes == 1 || p.epoch_lanes == 1);
+      EXPECT_GE(p.replica_lanes * p.epoch_lanes, 1u);
+    }
+  }
+}
+
+// ------------------------------------------------- sharded decision epochs
+
+chain::ChainSimOptions sharded_options(std::size_t lanes,
+                                       chain::MinerPolicy policy,
+                                       std::uint64_t seed) {
+  chain::ChainSimOptions options;
+  options.duration_hours = 24.0 * 10;
+  options.policy = policy;
+  options.reevaluation_fraction = 0.5;
+  options.seed = seed;
+  options.epoch_lanes = lanes;
+  options.epoch_shard_cutoff = 0;  // shard even the 12-miner test population
+  return options;
+}
+
+TEST(ShardedEpoch, BetterResponseBitIdenticalAcrossLaneCounts) {
+  const auto one = run_chain(
+      sharded_options(1, chain::MinerPolicy::kBetterResponse, 21),
+      EngineKind::kFlat);
+  const auto four = run_chain(
+      sharded_options(4, chain::MinerPolicy::kBetterResponse, 21),
+      EngineKind::kFlat);
+  EXPECT_GT(one.migrations, 0u);
+  expect_chain_results_equal(one, four);
+}
+
+TEST(ShardedEpoch, MyopicEdaChurnBitIdenticalAcrossLaneCounts) {
+  auto options =
+      sharded_options(1, chain::MinerPolicy::kMyopicDifficulty, 22);
+  options.myopic_hysteresis = 0.05;
+  const auto one = run_chain(options, EngineKind::kFlat, /*eda=*/true);
+  options.epoch_lanes = 4;
+  const auto four = run_chain(options, EngineKind::kFlat, /*eda=*/true);
+  EXPECT_GT(one.migrations, 10u);
+  expect_chain_results_equal(one, four);
+}
+
+TEST(ShardedEpoch, FlatAndLegacyEnginesAgreeInShardedMode) {
+  // The sharded epoch is engine-agnostic: the same frozen-state decisions
+  // and apply-order replays on the legacy EventQueue path.
+  const auto options =
+      sharded_options(4, chain::MinerPolicy::kBetterResponse, 23);
+  expect_chain_results_equal(run_chain(options, EngineKind::kLegacy),
+                             run_chain(options, EngineKind::kFlat));
+}
+
+TEST(ShardedEpoch, RewardHookAndExternalPoolBitIdentical) {
+  // Reward hooks, a non-trivial initial assignment, and a caller-owned
+  // pool (the nested-arbitration path) — against the 1-lane reference.
+  const auto build = [](std::size_t lanes, engine::ThreadPool* pool) {
+    std::vector<chain::ChainSpec> chains;
+    chains.push_back(make_chain("a", 300.0, 20.0));
+    chains.push_back(make_chain("b", 300.0, 20.0));
+    chain::ChainSimOptions options;
+    options.duration_hours = 24.0 * 8;
+    options.policy = chain::MinerPolicy::kBetterResponse;
+    options.seed = 24;
+    options.epoch_lanes = lanes;
+    options.epoch_shard_cutoff = 0;
+    options.epoch_pool = pool;
+    chain::MultiChainSimulator sim({10.0, 20.0, 30.0, 40.0, 50.0},
+                                   std::move(chains), options,
+                                   {0, 1, 0, 1, 0});
+    sim.set_reward_hook([](std::size_t c, double t) {
+      return 20.0 + (c == 0 ? 1.0 : -1.0) * 5.0 * std::sin(t / 24.0);
+    });
+    return sim.run();
+  };
+  engine::ThreadPool pool(3);
+  expect_chain_results_equal(build(1, nullptr), build(4, &pool));
 }
 
 // ------------------------------------------------ Monte Carlo stress (slow)
