@@ -87,6 +87,14 @@ int run(int argc, char** argv) {
       rule.wave = std::max<std::size_t>(2, replicas);
       batch.stopping = rule;
     }
+    // --stop-* / --checkpoint override the --adaptive preset; the horizon
+    // suffix keeps the four studies from sharing one checkpoint file
+    // (their root seeds differ, so a shared file would refuse to resume).
+    bench::apply_batch_cli(cli, batch);
+    if (batch.checkpoint.has_value()) {
+      batch.checkpoint->path +=
+          "." + std::to_string(static_cast<int>(days)) + "d";
+    }
     const sim::TrajectoryBatchResult result = sim::run_trajectory_batch(
         {"blocks", "share_mae", "largest_realized"}, batch,
         [&](std::size_t, std::uint64_t seed) {

@@ -276,11 +276,12 @@ int run(int argc, char** argv) {
   bench::emit(cli, table, "Old vs new (trajectory hashes checked per row)");
 
   // ---------------------------------------------------- Monte Carlo batch
-  const std::size_t replicas = quick ? 16 : 48;
   sim::TrajectoryBatchOptions batch;
-  batch.replicas = replicas;
+  batch.replicas = quick ? 16 : 48;
   batch.root_seed = seed0;
   batch.threads = threads;
+  bench::apply_batch_cli(cli, batch);  // --replicas/--stop-*/--checkpoint
+  const std::size_t replicas = batch.replicas;
   const auto chain_factory = [&](std::uint64_t seed) {
     return make_reference_chain(quick ? 128 : 256, 8, quick ? 10.0 : 20.0,
                                 sim::EngineKind::kFlat, seed);
@@ -290,6 +291,7 @@ int run(int argc, char** argv) {
       sim::run_chain_batch(chain_factory, batch);
   const double parallel_ms = watch.elapsed_ms();
   batch.threads = 1;
+  batch.checkpoint.reset();  // the 1-lane replay must recompute, not resume
   watch.restart();
   const sim::TrajectoryBatchResult serial =
       sim::run_chain_batch(chain_factory, batch);

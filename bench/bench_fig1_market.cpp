@@ -99,6 +99,9 @@ int run(int argc, char** argv) {
   replay_params.shock_day = params.shock_day;
   replay_params.revert_day = params.revert_day;
   replay_params.seed = params.seed;
+  // --epoch-lanes=N runs the replay's decision rounds as sharded
+  // simultaneous-move epochs (0 keeps the sequential scan default).
+  replay_params.epoch_lanes = bench::epoch_lanes_from_cli(cli);
   sim::TrajectoryBatchOptions batch;
   batch.replicas = replicas;
   batch.root_seed = params.seed;
@@ -112,6 +115,7 @@ int run(int argc, char** argv) {
     rule.wave = std::max<std::size_t>(2, replicas);
     batch.stopping = rule;
   }
+  bench::apply_batch_cli(cli, batch);  // --stop-*/--checkpoint override
   const sim::TrajectoryBatchResult replay =
       run_fig1_replay_batch(replay_params, batch);
   if (adaptive) {

@@ -9,10 +9,24 @@
 /// Determinism: rerunning with any `--threads` value reproduces the exact
 /// same records — per-task seeds depend only on the root seed and the
 /// task's position in the grid.
+///
+/// A second section demonstrates the shared Monte Carlo batch flags
+/// (bench_common.hpp): a two-chain better-response study fanned as a
+/// trajectory batch, with CI-driven stopping, crash-safe checkpoints and
+/// sharded decision epochs all reachable from the command line:
+///
+///   ./sweep_demo --replicas=32 --stop-metric=blocks_total --stop-tol=0.02 \
+///       --stop-rel --checkpoint=demo.gocr --epoch-lanes=4
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
+#include <utility>
+#include <vector>
 
+#include "bench_common.hpp"
+#include "chain/chain_sim.hpp"
+#include "chain/difficulty.hpp"
 #include "engine/sweep.hpp"
 #include "io/serialize.hpp"
 #include "util/cli.hpp"
@@ -51,13 +65,53 @@ int main(int argc, char** argv) {
 
   if (cli.has("csv")) {
     const std::string path = cli.get_string("csv", "sweep.csv");
-    io::write_text_file(result.to_csv(), path);
+    io::atomic_write_file(result.to_csv(), path);
     std::cout << "[per-scenario csv saved to " << path << "]\n";
   }
   if (cli.has("json")) {
     const std::string path = cli.get_string("json", "sweep.json");
-    io::write_text_file(result.to_json(), path);
+    io::atomic_write_file(result.to_json(), path);
     std::cout << "[per-scenario json saved to " << path << "]\n";
   }
+
+  // Monte Carlo trajectory batch, wired through the shared flags:
+  // --replicas/--stop-*/--checkpoint (bench::apply_batch_cli) and
+  // --epoch-lanes (sharded simultaneous-move decision epochs; 0 keeps
+  // the sequential policy scan).
+  const std::size_t epoch_lanes = bench::epoch_lanes_from_cli(cli);
+  sim::TrajectoryBatchOptions batch;
+  batch.replicas = 4;
+  batch.root_seed = seed;
+  batch.threads = threads;
+  bench::apply_batch_cli(cli, batch);
+  const auto chain_factory = [&](std::uint64_t task_seed) {
+    std::vector<chain::ChainSpec> chains;
+    chains.push_back(chain::ChainSpec{
+        "heavy", 600.0, 1.0 / 6.0, 30.0,
+        std::make_unique<chain::FixedWindowRetarget>(10, 1.0 / 6.0)});
+    chains.push_back(chain::ChainSpec{
+        "light", 600.0, 1.0 / 6.0, 10.0,
+        std::make_unique<chain::FixedWindowRetarget>(10, 1.0 / 6.0)});
+    chain::ChainSimOptions opts;
+    opts.duration_hours = 24.0 * 5;
+    opts.policy = chain::MinerPolicy::kBetterResponse;
+    opts.reevaluation_fraction = 0.5;
+    opts.seed = task_seed;
+    opts.epoch_lanes = epoch_lanes;
+    opts.record_timeline = false;
+    std::vector<double> powers(12, 10.0);
+    return chain::MultiChainSimulator(std::move(powers), std::move(chains),
+                                      opts);
+  };
+  const sim::TrajectoryBatchResult batch_result =
+      sim::run_chain_batch(chain_factory, batch);
+  batch_result.to_table().print(
+      std::cout, "Chain trajectory batch (mean / 95% CI per metric)");
+  std::cout << "\n[batch: " << batch_result.replicas() << " of "
+            << batch_result.replicas_requested() << " replicas ("
+            << sim::stop_reason_name(batch_result.stop_reason())
+            << "); epoch_lanes=" << epoch_lanes << "; values_hash "
+            << batch_result.values_hash() << "]\n";
+
   return result.all_converged() ? 0 : 1;
 }

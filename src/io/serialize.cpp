@@ -1,9 +1,12 @@
 #include "io/serialize.hpp"
 
+#include <cerrno>
 #include <charconv>
 #include <cstdio>
+#include <fcntl.h>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 #include <vector>
 
 #include "util/assert.hpp"
@@ -321,6 +324,35 @@ void write_text_file(const std::string& content, const std::string& path) {
   if (!out) throw std::runtime_error("cannot open " + path + " for writing");
   out << content;
   if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+void atomic_write_file(const std::string& content, const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw std::runtime_error("cannot open " + tmp + " for writing");
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ::ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      std::remove(tmp.c_str());
+      throw std::runtime_error("failed writing " + tmp);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync *before* rename: the rename must never become durable ahead of
+  // the bytes it points at, or a crash could leave a short file under the
+  // final name — exactly the torn artifact this function exists to prevent.
+  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("failed flushing " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot rename " + tmp + " to " + path);
+  }
 }
 
 }  // namespace goc::io

@@ -76,4 +76,14 @@ std::string table_to_json(const Table& table, const std::string& title);
 /// Writes `content` to `path`; throws std::runtime_error on I/O failure.
 void write_text_file(const std::string& content, const std::string& path);
 
+/// Crash-safe write: `content` (text or binary) goes to `path + ".tmp"`,
+/// is flushed to stable storage (fsync), then renamed over `path` — on a
+/// POSIX filesystem readers observe either the old file or the complete
+/// new one, never a torn mix. Used for every artifact whose partial state
+/// is worse than its absence: replay checkpoints, golden recordings, and
+/// the benches' `BENCH_*.json` perf baselines. Throws std::runtime_error
+/// on I/O failure (the tmp file is removed on the failure paths that
+/// leave one behind).
+void atomic_write_file(const std::string& content, const std::string& path);
+
 }  // namespace goc::io

@@ -5,6 +5,7 @@
 
 #include "market/price_process.hpp"
 #include "util/assert.hpp"
+#include "util/fnv.hpp"
 
 namespace goc::market {
 namespace {
@@ -86,6 +87,7 @@ Fig1ReplayResult run_fig1_replay(const Fig1ReplayParams& params) {
   options.myopic_hysteresis = params.hysteresis;
   options.seed = params.seed ^ 0xF161;
   options.engine = params.engine;
+  options.epoch_lanes = params.epoch_lanes;
 
   chain::MultiChainSimulator sim(std::move(powers), std::move(chains), options,
                                  std::move(assignment));
@@ -146,6 +148,34 @@ const std::vector<std::string>& fig1_replay_metrics() {
   return kNames;
 }
 
+std::vector<double> fig1_replica_metrics(const Fig1ReplayResult& result) {
+  return {result.peak_minor_share,
+          result.peak_day,
+          result.pre_shock_share,
+          result.flip_window_share,
+          result.post_revert_share,
+          static_cast<double>(result.migrations)};
+}
+
+std::uint64_t fig1_result_hash(const Fig1ReplayResult& result) noexcept {
+  std::uint64_t h = fnv::kOffset;
+  for (const Fig1ReplayPoint& p : result.series) {
+    fnv::mix_bytes(h, p.t_hours);
+    fnv::mix_bytes(h, p.major_price);
+    fnv::mix_bytes(h, p.minor_price);
+    fnv::mix_bytes(h, p.major_hash);
+    fnv::mix_bytes(h, p.minor_hash);
+    fnv::mix_bytes(h, p.minor_difficulty);
+  }
+  fnv::mix_bytes(h, result.peak_minor_share);
+  fnv::mix_bytes(h, result.peak_day);
+  fnv::mix_bytes(h, result.migrations);
+  fnv::mix_bytes(h, result.pre_shock_share);
+  fnv::mix_bytes(h, result.flip_window_share);
+  fnv::mix_bytes(h, result.post_revert_share);
+  return h;
+}
+
 sim::TrajectoryBatchResult run_fig1_replay_batch(
     const Fig1ReplayParams& params,
     const sim::TrajectoryBatchOptions& options) {
@@ -154,13 +184,7 @@ sim::TrajectoryBatchResult run_fig1_replay_batch(
       [&params](std::size_t, std::uint64_t seed) {
         Fig1ReplayParams replica = params;
         replica.seed = seed;
-        const Fig1ReplayResult r = run_fig1_replay(replica);
-        return std::vector<double>{r.peak_minor_share,
-                                   r.peak_day,
-                                   r.pre_shock_share,
-                                   r.flip_window_share,
-                                   r.post_revert_share,
-                                   static_cast<double>(r.migrations)};
+        return fig1_replica_metrics(run_fig1_replay(replica));
       });
 }
 

@@ -40,6 +40,12 @@ struct Fig1ReplayParams {
   std::uint64_t seed = 1711;
   /// Event engine for the underlying chain simulator (legacy = reference).
   sim::EngineKind engine = sim::EngineKind::kFlat;
+  /// Decision-epoch execution mode of the underlying chain simulator
+  /// (`chain::ChainSimOptions::epoch_lanes`): 0 keeps the sequential
+  /// policy scan, >= 1 selects the sharded simultaneous-move epoch (a
+  /// *different* — equally valid — dynamics whose results are
+  /// bit-identical at any lane count).
+  std::size_t epoch_lanes = 0;
 };
 
 struct Fig1ReplayPoint {
@@ -70,6 +76,15 @@ Fig1ReplayResult run_fig1_replay(const Fig1ReplayParams& params = {});
 
 /// Metric names of `run_fig1_replay_batch` rows.
 const std::vector<std::string>& fig1_replay_metrics();
+
+/// One `fig1_replay_metrics()` row from a finished replay — shared by the
+/// batch adapter and the golden-replay recorder (replay/golden.hpp).
+std::vector<double> fig1_replica_metrics(const Fig1ReplayResult& result);
+
+/// FNV-1a over every deterministic field of a replay result (the hourly
+/// series included) — same trajectory-hash contract as
+/// `sim::chain_result_hash`.
+std::uint64_t fig1_result_hash(const Fig1ReplayResult& result) noexcept;
 
 /// Monte Carlo over the replay: R replicas with per-replica seeds derived
 /// from `options.root_seed` (`params.seed` is overridden), fanned across

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trajectory.hpp"
+
+/// \file golden.hpp
+/// Golden replay recordings — committed regression anchors for the
+/// stochastic simulators.
+///
+/// A golden is a strict-mode artifact (replay.hpp framing) capturing a
+/// small, named scenario end to end: per-replica metric rows (the exact
+/// values a Monte Carlo batch would aggregate — the row helpers are shared
+/// with the batch adapters), full-trajectory FNV hashes, and periodic
+/// simulator snapshots (chain difficulty/hashrate timeline, market epoch
+/// prices/weights, fig1 coupled series). `goc-replay record` writes one,
+/// `goc-replay verify` re-runs the scenario named in the header and
+/// compares frame by frame — so a committed golden catches any silent
+/// behavioural drift, including across compilers (CI verifies the same
+/// bytes under gcc and clang; the build uses no -march/-ffast-math flags,
+/// so IEEE-754 evaluation is identical).
+
+namespace goc::replay {
+
+/// What to record. The scenario workloads themselves are fixed by name
+/// (documented in golden.cpp) — a golden's identity is (scenario, seed,
+/// replicas, snapshot_stride), all stamped into the header.
+struct GoldenOptions {
+  std::string scenario = "chain";  ///< one of `golden_scenarios()`
+  std::uint64_t seed = 2021;       ///< root of the per-replica derivation
+  std::size_t replicas = 4;
+  /// Every Nth timeline/epoch point becomes a snapshot frame (>= 1).
+  std::size_t snapshot_stride = 8;
+};
+
+/// The recordable scenario names: {"chain", "market", "fig1"}.
+const std::vector<std::string>& golden_scenarios();
+
+/// FNV-1a identity of a golden's configuration (scenario name + seed +
+/// replicas + stride + format version) — stamped into the header so verify
+/// can reject an option drift before comparing frames.
+std::uint64_t golden_config_hash(const GoldenOptions& options);
+
+/// Runs the scenario and serializes the complete artifact image.
+std::string record_golden(const GoldenOptions& options);
+
+/// `record_golden` + atomic write.
+void record_golden_file(const GoldenOptions& options, const std::string& path);
+
+/// Outcome of `verify_golden_file`.
+struct VerifyReport {
+  bool ok = false;
+  std::string scenario;
+  std::size_t frames = 0;   ///< frames in the artifact
+  std::string detail;       ///< first divergence / defect description
+};
+
+/// Strict-reads `path`, re-runs the scenario its header names with the
+/// header's options, and compares the regenerated image frame by frame.
+/// Never throws for artifact defects — they come back as `ok == false`
+/// with the typed error rendered into `detail` (a verify CLI wants an
+/// exit code, not a stack trace).
+VerifyReport verify_golden_file(const std::string& path);
+
+/// Human-oriented artifact summary (`goc-replay info`).
+struct ArtifactInfo {
+  std::string kind;        ///< header kind tag ("", if headerless)
+  std::string scenario;    ///< goldens only
+  std::uint64_t seed = 0;
+  std::uint64_t config_hash = 0;
+  std::size_t frames = 0;
+  std::size_t bytes = 0;
+  bool salvaged = false;
+  std::size_t salvaged_bytes = 0;
+  std::string salvage_reason;
+  /// One "count × type-name" entry per distinct frame type, file order.
+  std::vector<std::string> frame_counts;
+};
+
+/// Opens `path` (salvage mode by default — info should describe damaged
+/// files, not refuse them) and summarizes it.
+ArtifactInfo inspect_file(const std::string& path, bool salvage = true);
+
+/// Renders an ArtifactInfo as the `goc-replay info` text block.
+std::string render_info(const ArtifactInfo& info);
+
+// ------------------------------------------------------ crash-demo batch
+// The workload behind `goc-replay batch` and the fault-injection tests: a
+// small fixed chain-batch scenario with checkpointing, plus an optional
+// suicide switch that SIGKILLs the process from the checkpoint hook — the
+// harness forks these as children and corrupts/resumes what they left.
+
+struct CrashBatchOptions {
+  std::uint64_t seed = 7;
+  std::size_t replicas = 24;
+  std::size_t interval = 4;  ///< checkpoint interval (replicas per write)
+  std::size_t threads = 1;
+  std::string checkpoint_path;
+  /// 0 = run to completion; N >= 1 = raise SIGKILL inside the Nth
+  /// checkpoint write hook (after the file hit disk).
+  std::size_t kill_after = 0;
+  /// Run under a stopping rule instead of fixed R (exercises the adaptive
+  /// resume path; `replicas` then serves as max_replicas).
+  bool adaptive = false;
+};
+
+/// The config hash `run_crash_demo_batch` stamps into its checkpoints.
+std::uint64_t crash_demo_config_hash(const CrashBatchOptions& options);
+
+/// Runs (or resumes) the crash-demo batch. Deterministic: two calls with
+/// the same options — interrupted or not, at any thread count — produce
+/// `deterministic_equals` results.
+sim::TrajectoryBatchResult run_crash_demo_batch(
+    const CrashBatchOptions& options);
+
+}  // namespace goc::replay

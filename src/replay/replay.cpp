@@ -1,0 +1,251 @@
+#include "replay/replay.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+
+#include "io/serialize.hpp"
+#include "util/crc32.hpp"
+
+namespace goc::replay {
+
+const char* replay_error_name(ReplayError error) noexcept {
+  switch (error) {
+    case ReplayError::kIo:
+      return "io";
+    case ReplayError::kBadMagic:
+      return "bad-magic";
+    case ReplayError::kVersionMismatch:
+      return "version-mismatch";
+    case ReplayError::kCrcMismatch:
+      return "crc-mismatch";
+    case ReplayError::kTruncated:
+      return "truncated";
+    case ReplayError::kMalformed:
+      return "malformed";
+    case ReplayError::kHeaderMismatch:
+      return "header-mismatch";
+  }
+  return "unknown";
+}
+
+const char* record_type_name(RecordType type) noexcept {
+  switch (type) {
+    case RecordType::kBatchHeader:
+      return "batch-header";
+    case RecordType::kReplicaRow:
+      return "replica-row";
+    case RecordType::kWelford:
+      return "welford";
+    case RecordType::kChainSnapshot:
+      return "chain-snapshot";
+    case RecordType::kMarketSnapshot:
+      return "market-snapshot";
+    case RecordType::kTrajectoryHash:
+      return "trajectory-hash";
+    case RecordType::kFooter:
+      return "footer";
+    case RecordType::kFig1Snapshot:
+      return "fig1-snapshot";
+  }
+  return "unknown";
+}
+
+// ------------------------------------------------------------- byte codec
+
+void ByteWriter::u8(std::uint8_t v) {
+  bytes_.push_back(static_cast<char>(v));
+}
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int byte = 0; byte < 4; ++byte) {
+    bytes_.push_back(static_cast<char>((v >> (8 * byte)) & 0xFFu));
+  }
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    bytes_.push_back(static_cast<char>((v >> (8 * byte)) & 0xFFu));
+  }
+}
+
+void ByteWriter::f64(double v) {
+  std::uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+
+void ByteWriter::str(std::string_view v) {
+  if (v.size() > 0xFFFFFFFFu) {
+    throw ReplayException(ReplayError::kMalformed, "string too long to frame");
+  }
+  u32(static_cast<std::uint32_t>(v.size()));
+  bytes_.append(v.data(), v.size());
+}
+
+void ByteReader::need(std::size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    throw ReplayException(ReplayError::kMalformed,
+                          "frame payload ends mid-field");
+  }
+}
+
+std::uint8_t ByteReader::u8() {
+  need(1);
+  return static_cast<std::uint8_t>(bytes_[pos_++]);
+}
+
+std::uint32_t ByteReader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int byte = 0; byte < 4; ++byte) {
+    v |= static_cast<std::uint32_t>(
+             static_cast<unsigned char>(bytes_[pos_ + byte]))
+         << (8 * byte);
+  }
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int byte = 0; byte < 8; ++byte) {
+    v |= static_cast<std::uint64_t>(
+             static_cast<unsigned char>(bytes_[pos_ + byte]))
+         << (8 * byte);
+  }
+  pos_ += 8;
+  return v;
+}
+
+double ByteReader::f64() {
+  const std::uint64_t bits = u64();
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+std::string ByteReader::str() {
+  const std::uint32_t len = u32();
+  need(len);
+  std::string v(bytes_.substr(pos_, len));
+  pos_ += len;
+  return v;
+}
+
+// ----------------------------------------------------------- file framing
+
+Writer::Writer() {
+  image_.append(kMagic, sizeof(kMagic));
+  ByteWriter version;
+  version.u32(kFormatVersion);
+  image_ += version.bytes();
+}
+
+void Writer::append(RecordType type, std::string_view payload) {
+  if (payload.size() > 0xFFFFFFFFu) {
+    throw ReplayException(ReplayError::kMalformed, "frame payload too large");
+  }
+  ByteWriter frame;
+  frame.u8(static_cast<std::uint8_t>(type));
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  std::string head = frame.bytes();
+  std::uint32_t crc = crc32::update(0, head.data(), head.size());
+  crc = crc32::update(crc, payload.data(), payload.size());
+  image_ += head;
+  image_.append(payload.data(), payload.size());
+  ByteWriter tail;
+  tail.u32(crc);
+  image_ += tail.bytes();
+}
+
+void Writer::write_atomic(const std::string& path) const {
+  try {
+    io::atomic_write_file(image_, path);
+  } catch (const std::runtime_error& e) {
+    throw ReplayException(ReplayError::kIo, e.what());
+  }
+}
+
+Reader Reader::open(const std::string& path, bool salvage) {
+  return from_bytes(read_file_bytes(path), salvage);
+}
+
+Reader Reader::from_bytes(std::string_view bytes, bool salvage) {
+  // Magic + version are the trust anchor: unsalvageable in either mode.
+  if (bytes.size() < sizeof(kMagic) + 4 ||
+      std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+    throw ReplayException(ReplayError::kBadMagic,
+                          "not a goc replay artifact (bad or short magic)");
+  }
+  ByteReader header(bytes.substr(sizeof(kMagic), 4));
+  const std::uint32_t version = header.u32();
+  if (version != kFormatVersion) {
+    throw ReplayException(
+        ReplayError::kVersionMismatch,
+        "artifact format v" + std::to_string(version) + ", reader supports v" +
+            std::to_string(kFormatVersion));
+  }
+
+  Reader reader;
+  std::size_t pos = sizeof(kMagic) + 4;
+  while (pos < bytes.size()) {
+    const std::size_t frame_start = pos;
+    const auto fail = [&](ReplayError error, const char* what) {
+      if (salvage) {
+        reader.salvaged_bytes_ = bytes.size() - frame_start;
+        reader.salvage_reason_ = error;
+        pos = bytes.size();
+        return true;  // stop the scan, keep the prefix
+      }
+      throw ReplayException(
+          error, std::string(what) + " at offset " + std::to_string(frame_start));
+    };
+    // type (1) + length (4)
+    if (bytes.size() - pos < 5) {
+      if (fail(ReplayError::kTruncated, "file ends mid-frame-header")) break;
+    }
+    const auto type = static_cast<std::uint8_t>(bytes[pos]);
+    ByteReader len_reader(bytes.substr(pos + 1, 4));
+    const std::uint32_t length = len_reader.u32();
+    // payload + crc (4)
+    if (bytes.size() - pos - 5 < static_cast<std::size_t>(length) + 4) {
+      if (fail(ReplayError::kTruncated, "file ends mid-frame")) break;
+    }
+    const std::string_view framed = bytes.substr(pos, 5 + length);
+    ByteReader crc_reader(bytes.substr(pos + 5 + length, 4));
+    const std::uint32_t stored_crc = crc_reader.u32();
+    if (crc32::compute(framed.data(), framed.size()) != stored_crc) {
+      if (fail(ReplayError::kCrcMismatch, "frame checksum failed")) break;
+    }
+    Frame frame;
+    frame.type = static_cast<RecordType>(type);
+    frame.payload.assign(framed.substr(5));
+    reader.frames_.push_back(std::move(frame));
+    pos += 5 + static_cast<std::size_t>(length) + 4;
+  }
+  return reader;
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw ReplayException(ReplayError::kIo, "cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    throw ReplayException(ReplayError::kIo, "failed reading " + path);
+  }
+  return std::move(buffer).str();
+}
+
+bool file_exists(const std::string& path) noexcept {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+}  // namespace goc::replay

@@ -1,0 +1,202 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file replay.hpp
+/// The versioned, CRC32-framed binary replay/checkpoint format.
+///
+/// Every crash-safe artifact in this repo — trajectory-batch checkpoints
+/// (checkpoint.hpp) and golden replay recordings (golden.hpp) — is one
+/// file in this layout:
+///
+/// ```
+/// magic   8 bytes  "GOCRPLAY"
+/// version u32      kFormatVersion (little-endian, like all integers)
+/// frame*           until end of file
+/// ```
+///
+/// where each frame is
+///
+/// ```
+/// type    u8       RecordType tag (variant dispatch)
+/// length  u32      payload byte count
+/// payload length bytes
+/// crc     u32      CRC-32 over type + length + payload
+/// ```
+///
+/// Degradation contract: a reader in *strict* mode rejects any defect with
+/// a typed error (`ReplayError::{kBadMagic, kVersionMismatch, kCrcMismatch,
+/// kTruncated, ...}`); in *salvage* mode it keeps every frame up to the
+/// first defect and reports what stopped the scan — so a file torn by a
+/// crash or flipped by bad storage yields its longest valid frame prefix,
+/// never UB or silently wrong data. Files are written atomically
+/// (tmp + fsync + rename, `io::atomic_write_file`), so on a POSIX
+/// filesystem a crash mid-write cannot tear the artifact at all; salvage
+/// covers everything else (non-atomic transports, bit rot, truncation).
+
+namespace goc::replay {
+
+/// First 8 bytes of every artifact.
+inline constexpr char kMagic[8] = {'G', 'O', 'C', 'R', 'P', 'L', 'A', 'Y'};
+
+/// Bumped on any layout change; readers reject other versions.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// What went wrong with an artifact (the typed-error taxonomy).
+enum class ReplayError {
+  kIo,              ///< file missing / unreadable / unwritable
+  kBadMagic,        ///< not a replay artifact at all
+  kVersionMismatch, ///< artifact from an incompatible format version
+  kCrcMismatch,     ///< a frame's checksum failed (bit flip / torn write)
+  kTruncated,       ///< file ends mid-frame
+  kMalformed,       ///< frame payload does not parse as its record type
+  kHeaderMismatch,  ///< artifact header disagrees with the live scenario
+};
+
+/// Stable display name ("io", "bad-magic", ...).
+const char* replay_error_name(ReplayError error) noexcept;
+
+/// The typed exception every replay entry point throws.
+class ReplayException : public std::runtime_error {
+ public:
+  ReplayException(ReplayError error, const std::string& what)
+      : std::runtime_error(std::string("goc::replay [") +
+                           replay_error_name(error) + "]: " + what),
+        error_(error) {}
+
+  ReplayError error() const noexcept { return error_; }
+
+ private:
+  ReplayError error_;
+};
+
+/// Frame type tags. Values are part of the on-disk format — append only.
+enum class RecordType : std::uint8_t {
+  kBatchHeader = 1,     ///< artifact identity: kind, seed, config hash, ...
+  kReplicaRow = 2,      ///< one replica's metric values
+  kWelford = 3,         ///< prefix-Welford state over the completed rows
+  kChainSnapshot = 4,   ///< periodic chain-simulator state sample
+  kMarketSnapshot = 5,  ///< periodic market-simulator state sample
+  kTrajectoryHash = 6,  ///< one replica's full-trajectory FNV hash
+  kFooter = 7,          ///< completed count + values hash (end marker)
+  kFig1Snapshot = 8,    ///< periodic fig1-replay coupled state sample
+};
+
+/// Stable display name ("batch-header", "replica-row", ...).
+const char* record_type_name(RecordType type) noexcept;
+
+// ------------------------------------------------------------- byte codec
+
+/// Little-endian payload builder. All multi-byte integers in the format go
+/// through this, so artifacts are byte-identical across architectures.
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw IEEE-754 bits of `v` as a u64 — doubles round-trip bit-exactly.
+  void f64(double v);
+  /// u32 length prefix + bytes.
+  void str(std::string_view v);
+
+  const std::string& bytes() const noexcept { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Bounds-checked little-endian payload parser; throws
+/// `ReplayException(kMalformed)` on overrun (a frame that passed its CRC
+/// but does not parse is malformed, not truncated).
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  double f64();
+  std::string str();
+
+  std::size_t remaining() const noexcept { return bytes_.size() - pos_; }
+  bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const;
+
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+// ----------------------------------------------------------- file framing
+
+/// One decoded frame.
+struct Frame {
+  RecordType type;
+  std::string payload;
+};
+
+/// Accumulates frames into a complete artifact image and writes it
+/// atomically. The writer holds the whole image in memory — checkpoint and
+/// golden artifacts are kilobytes, and full-image rewrite is what makes a
+/// checkpoint update a single atomic rename.
+class Writer {
+ public:
+  Writer();
+
+  void append(RecordType type, std::string_view payload);
+  void append(RecordType type, const ByteWriter& payload) {
+    append(type, payload.bytes());
+  }
+
+  /// The complete artifact image (magic + version + frames so far).
+  const std::string& bytes() const noexcept { return image_; }
+
+  /// tmp + fsync + rename via `io::atomic_write_file`; throws
+  /// `ReplayException(kIo)` on failure.
+  void write_atomic(const std::string& path) const;
+
+ private:
+  std::string image_;
+};
+
+/// Parses an artifact image. Strict mode throws a typed error on the first
+/// defect; salvage mode keeps the longest valid frame prefix and records
+/// why the scan stopped.
+class Reader {
+ public:
+  /// Loads and parses a file. Throws `ReplayException(kIo)` when the file
+  /// cannot be read; magic/version defects throw in both modes (there is
+  /// nothing to salvage without a trusted header line).
+  static Reader open(const std::string& path, bool salvage);
+
+  /// Same, over an in-memory image.
+  static Reader from_bytes(std::string_view bytes, bool salvage);
+
+  const std::vector<Frame>& frames() const noexcept { return frames_; }
+
+  /// True iff salvage mode dropped trailing bytes.
+  bool salvaged() const noexcept { return salvaged_bytes_ > 0; }
+  /// Bytes dropped after the last valid frame (0 for a pristine file).
+  std::size_t salvaged_bytes() const noexcept { return salvaged_bytes_; }
+  /// What stopped the scan when `salvaged()` (kCrcMismatch or kTruncated).
+  ReplayError salvage_reason() const noexcept { return salvage_reason_; }
+
+ private:
+  std::vector<Frame> frames_;
+  std::size_t salvaged_bytes_ = 0;
+  ReplayError salvage_reason_ = ReplayError::kTruncated;
+};
+
+/// Reads a whole file into memory; throws `ReplayException(kIo)`.
+std::string read_file_bytes(const std::string& path);
+
+/// True iff `path` names an existing regular file (checkpoint resume
+/// probes with this instead of racing open()).
+bool file_exists(const std::string& path) noexcept;
+
+}  // namespace goc::replay

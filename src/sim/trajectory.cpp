@@ -162,9 +162,63 @@ TrajectoryBatchResult run_trajectory_batch(
     GOC_CHECK_ARG(options.replicas >= 1, "a batch needs at least one replica");
   }
 
+  const replay::CheckpointOptions* ckpt =
+      options.checkpoint.has_value() ? &*options.checkpoint : nullptr;
+  if (ckpt != nullptr) {
+    GOC_CHECK_ARG(!ckpt->path.empty(), "checkpointing needs a path");
+    GOC_CHECK_ARG(ckpt->interval >= 1, "checkpoint interval must be >= 1");
+  }
+
   // Slot writes into a pre-sized matrix: replica r's value row depends only
   // on (root_seed, r), never on scheduling.
   std::vector<double> values(requested * metrics, 0.0);
+
+  // Resume: a checkpoint's row prefix is ground truth (rows are pure
+  // functions of (root_seed, r)), so adopting it and re-entering the wave
+  // loop reproduces the uninterrupted run bit-for-bit. Salvage mode keeps
+  // a damaged artifact's longest valid prefix — losing at most one wave —
+  // while magic/version/header damage still surfaces as a typed error.
+  std::size_t completed = 0;
+  if (ckpt != nullptr && ckpt->resume && replay::file_exists(ckpt->path)) {
+    const replay::BatchCheckpoint loaded =
+        replay::BatchCheckpoint::load(ckpt->path, /*salvage=*/true);
+    const auto mismatch = [&](const char* what) {
+      throw replay::ReplayException(
+          replay::ReplayError::kHeaderMismatch,
+          std::string("checkpoint does not match this batch: ") + what);
+    };
+    if (loaded.root_seed != options.root_seed) mismatch("root seed differs");
+    if (loaded.metric_names != metric_names) mismatch("metric names differ");
+    if (loaded.adaptive != options.stopping.has_value()) {
+      mismatch("fixed/adaptive mode differs");
+    }
+    if (loaded.replicas_requested != requested) {
+      mismatch("replica ceiling differs");
+    }
+    if (options.config_hash != 0 && loaded.config_hash != options.config_hash) {
+      mismatch("scenario config hash differs");
+    }
+    completed = std::min(loaded.completed, requested);
+    std::copy(loaded.values.begin(),
+              loaded.values.begin() +
+                  static_cast<std::ptrdiff_t>(completed * metrics),
+              values.begin());
+  }
+
+  const auto write_checkpoint = [&](std::size_t done) {
+    replay::BatchCheckpoint cp;
+    cp.root_seed = options.root_seed;
+    cp.config_hash = options.config_hash;
+    cp.metric_names = metric_names;
+    cp.replicas_requested = requested;
+    cp.adaptive = options.stopping.has_value();
+    cp.completed = done;
+    cp.values.assign(values.begin(),
+                     values.begin() + static_cast<std::ptrdiff_t>(done * metrics));
+    cp.save(ckpt->path);
+    if (ckpt->on_write) ckpt->on_write(done);
+  };
+
   const auto run_range = [&](engine::ThreadPool& pool, std::size_t begin,
                              std::size_t end) {
     pool.parallel_for(end - begin, [&](std::size_t k) {
@@ -189,7 +243,20 @@ TrajectoryBatchResult run_trajectory_batch(
   std::size_t run_count = 0;
   StopReason reason = StopReason::kFixedReplicas;
   if (!options.stopping.has_value()) {
-    run_range(*pool, 0, requested);
+    if (ckpt == nullptr) {
+      run_range(*pool, 0, requested);
+    } else {
+      // Interval chunks aligned to multiples of `interval` regardless of
+      // where a salvaged prefix landed, so the persisted boundaries are
+      // the same whether or not the batch was ever interrupted.
+      while (completed < requested) {
+        const std::size_t next = std::min(
+            requested, ((completed / ckpt->interval) + 1) * ckpt->interval);
+        run_range(*pool, completed, next);
+        completed = next;
+        write_checkpoint(completed);
+      }
+    }
     run_count = requested;
   } else {
     const StoppingRule& rule = *options.stopping;
@@ -201,7 +268,13 @@ TrajectoryBatchResult run_trajectory_batch(
       const std::size_t next =
           run_count == 0 ? rule.min_replicas
                          : std::min(rule.max_replicas, run_count + rule.wave);
-      run_range(*pool, run_count, next);
+      if (next > completed) {
+        // A resumed prefix can end mid-wave (a salvaged artifact keeps
+        // whatever rows survived); only the missing tail runs.
+        run_range(*pool, completed, next);
+        completed = next;
+        if (ckpt != nullptr) write_checkpoint(completed);
+      }
       run_count = next;
       // Welford over the replica-ordered prefix [0, run_count): the stop
       // decision is a pure function of the prefix, so the chosen R is
@@ -240,6 +313,20 @@ const std::vector<std::string>& chain_batch_metrics() {
   return kNames;
 }
 
+std::vector<double> chain_replica_metrics(const chain::ChainSimResult& result) {
+  std::uint64_t blocks = 0;
+  for (const std::uint64_t b : result.blocks_per_chain) blocks += b;
+  double reward = 0.0;
+  for (const double r : result.miner_rewards_fiat) reward += r;
+  const double share0 =
+      blocks > 0 ? static_cast<double>(result.blocks_per_chain[0]) /
+                       static_cast<double>(blocks)
+                 : 0.0;
+  return {static_cast<double>(blocks), share0,
+          static_cast<double>(result.migrations), result.share_prediction_mae,
+          reward};
+}
+
 TrajectoryBatchResult run_chain_batch(
     const std::function<chain::MultiChainSimulator(std::uint64_t seed)>&
         make_replica,
@@ -249,19 +336,7 @@ TrajectoryBatchResult run_chain_batch(
       chain_batch_metrics(), options,
       [&make_replica](std::size_t, std::uint64_t seed) {
         chain::MultiChainSimulator sim = make_replica(seed);
-        const chain::ChainSimResult result = sim.run();
-        std::uint64_t blocks = 0;
-        for (const std::uint64_t b : result.blocks_per_chain) blocks += b;
-        double reward = 0.0;
-        for (const double r : result.miner_rewards_fiat) reward += r;
-        const double share0 =
-            blocks > 0 ? static_cast<double>(result.blocks_per_chain[0]) /
-                             static_cast<double>(blocks)
-                       : 0.0;
-        return std::vector<double>{
-            static_cast<double>(blocks), share0,
-            static_cast<double>(result.migrations),
-            result.share_prediction_mae, reward};
+        return chain_replica_metrics(sim.run());
       });
 }
 
@@ -270,6 +345,23 @@ const std::vector<std::string>& market_batch_metrics() {
       "mean_share_coin0", "final_share_coin0", "equilibrium_fraction",
       "br_steps_total", "final_price_coin0"};
   return kNames;
+}
+
+std::vector<double> market_replica_metrics(
+    const std::vector<market::EpochRecord>& records) {
+  double share_sum = 0.0;
+  double at_eq = 0.0;
+  double steps = 0.0;
+  for (const market::EpochRecord& r : records) {
+    share_sum += r.hashrate_share[0];
+    if (r.at_equilibrium) at_eq += 1.0;
+    steps += static_cast<double>(r.br_steps);
+  }
+  const double n = records.empty() ? 1.0 : static_cast<double>(records.size());
+  const double final_share =
+      records.empty() ? 0.0 : records.back().hashrate_share[0];
+  const double final_price = records.empty() ? 0.0 : records.back().prices[0];
+  return {share_sum / n, final_share, at_eq / n, steps, final_price};
 }
 
 TrajectoryBatchResult run_market_batch(
@@ -281,24 +373,7 @@ TrajectoryBatchResult run_market_batch(
       market_batch_metrics(), options,
       [&make_replica](std::size_t, std::uint64_t seed) {
         market::MarketSimulator sim = make_replica(seed);
-        const std::vector<market::EpochRecord> records = sim.run();
-        double share_sum = 0.0;
-        double at_eq = 0.0;
-        double steps = 0.0;
-        for (const market::EpochRecord& r : records) {
-          share_sum += r.hashrate_share[0];
-          if (r.at_equilibrium) at_eq += 1.0;
-          steps += static_cast<double>(r.br_steps);
-        }
-        const double n = records.empty()
-                             ? 1.0
-                             : static_cast<double>(records.size());
-        const double final_share =
-            records.empty() ? 0.0 : records.back().hashrate_share[0];
-        const double final_price =
-            records.empty() ? 0.0 : records.back().prices[0];
-        return std::vector<double>{share_sum / n, final_share, at_eq / n,
-                                   steps, final_price};
+        return market_replica_metrics(sim.run());
       });
 }
 

@@ -9,6 +9,7 @@
 #include "chain/chain_sim.hpp"
 #include "market/market_sim.hpp"
 #include "market/scenario.hpp"
+#include "replay/checkpoint.hpp"
 #include "util/table.hpp"
 
 /// \file trajectory.hpp
@@ -88,6 +89,19 @@ struct TrajectoryBatchOptions {
   engine::ThreadPool* pool = nullptr;
   /// Adaptive sequential stopping; disengaged by default (fixed R).
   std::optional<StoppingRule> stopping;
+  /// Scenario identity stamped into checkpoint artifacts. A checkpoint
+  /// recorded under one config hash refuses to resume a batch with
+  /// another (`replay::ReplayError::kHeaderMismatch`); 0 disables only
+  /// this check, never the seed/metric/ceiling checks.
+  std::uint64_t config_hash = 0;
+  /// Crash-safe checkpointing (path + interval + resume semantics — see
+  /// replay/checkpoint.hpp). Disengaged by default. When set, the batch
+  /// persists its completed-replica prefix at wave boundaries (atomic
+  /// tmp+fsync+rename) and, on start, resumes from an existing artifact:
+  /// a batch killed at any point and resumed is byte-identical to an
+  /// uninterrupted run — same values, `values_hash`, summaries and (for
+  /// adaptive batches) the same chosen R, at any `threads`.
+  std::optional<replay::CheckpointOptions> checkpoint;
 };
 
 /// Splits one shared pool's lanes between the two parallelism levels of a
@@ -190,6 +204,11 @@ TrajectoryBatchResult run_trajectory_batch(
 /// Metric names of `run_chain_batch` rows.
 const std::vector<std::string>& chain_batch_metrics();
 
+/// One `chain_batch_metrics()` row from a finished chain run. The batch
+/// adapter and the golden-replay recorder (replay/golden.hpp) share this
+/// so a recorded row is bit-identical to what a batch would aggregate.
+std::vector<double> chain_replica_metrics(const chain::ChainSimResult& result);
+
 /// Batched chain studies: `make_replica(seed)` builds a fresh simulator
 /// (chain specs, options and RNG seeded from `seed`); each replica runs it
 /// and reports {blocks_total, blocks_share_chain0, migrations, share_mae,
@@ -201,6 +220,11 @@ TrajectoryBatchResult run_chain_batch(
 
 /// Metric names of `run_market_batch` rows.
 const std::vector<std::string>& market_batch_metrics();
+
+/// One `market_batch_metrics()` row from a finished market run (same
+/// sharing contract as `chain_replica_metrics`).
+std::vector<double> market_replica_metrics(
+    const std::vector<market::EpochRecord>& records);
 
 /// Batched market studies: each replica runs `make_replica(seed)` and
 /// reports {mean_share_coin0, final_share_coin0, equilibrium_fraction,

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the frame
+/// checksum of the replay/checkpoint binary format.
+///
+/// Implemented in-house (table-driven, one table built on first use) for
+/// the same reason the RNG is: artifacts recorded on one machine must
+/// verify bit-for-bit on every other, so the checksum cannot depend on an
+/// optional third-party library. The value for the empty message is 0 and
+/// `compute("123456789") == 0xCBF43926` (the standard check value, pinned
+/// by tests/test_replay.cpp).
+
+namespace goc::crc32 {
+
+/// Folds `size` bytes at `data` into a running CRC (start from 0).
+std::uint32_t update(std::uint32_t crc, const void* data,
+                     std::size_t size) noexcept;
+
+/// One-shot CRC-32 of a buffer.
+inline std::uint32_t compute(const void* data, std::size_t size) noexcept {
+  return update(0, data, size);
+}
+
+}  // namespace goc::crc32

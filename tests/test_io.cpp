@@ -1,13 +1,31 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <string>
 
 #include "core/generators.hpp"
 #include "core/moves.hpp"
 #include "io/serialize.hpp"
+#include "util/rng.hpp"
 
 namespace goc::io {
 namespace {
+
+/// Asserts that `fn()` throws std::invalid_argument whose message contains
+/// `needle` — every parser throw site must say *what* was wrong, not just
+/// that something was.
+template <typename Fn>
+void expect_parse_error(Fn&& fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected std::invalid_argument mentioning '" << needle << "'";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' does not mention '" << needle << "'";
+  }
+}
 
 TEST(Serialize, GameRoundTripSimple) {
   Game g(System::from_integer_powers({5, 3, 1}, 2),
@@ -122,6 +140,199 @@ TEST(Serialize, RationalHelpers) {
             Rational(355, 113));
   EXPECT_THROW(rational_from_text("abc"), std::invalid_argument);
   EXPECT_THROW(rational_from_text("1/0"), std::invalid_argument);
+}
+
+// One test per parser throw site, message content included: integers.
+TEST(SerializeErrors, IntegerParsing) {
+  expect_parse_error([] { rational_from_text(""); }, "empty integer");
+  expect_parse_error([] { rational_from_text("1/"); }, "empty integer");
+  expect_parse_error([] { rational_from_text("-"); }, "sign without digits");
+  expect_parse_error([] { rational_from_text("+"); }, "sign without digits");
+  expect_parse_error([] { rational_from_text("12a"); }, "invalid digit");
+  expect_parse_error([] { rational_from_text("0x10"); }, "invalid digit");
+  // 40 digits overflow i128 (max ~1.7e38).
+  expect_parse_error([] { rational_from_text(std::string(40, '9')); },
+                     "integer out of range");
+  expect_parse_error([] { rational_from_text("4/0"); }, "zero denominator");
+}
+
+TEST(SerializeErrors, GameHeaderAndStructure) {
+  expect_parse_error([] { game_from_text(""); }, "end of input");
+  expect_parse_error([] { game_from_text("goc-game\n"); },
+                     "unsupported game format version");
+  expect_parse_error([] { game_from_text("goc-game v2\n"); },
+                     "unsupported game format version");
+  expect_parse_error([] { game_from_text("goc-game v1\nrewards 1\n"); },
+                     "expected 'miners'");
+  expect_parse_error([] { game_from_text("goc-game v1\nminers 2 3\n"); },
+                     "miners expects one count");
+  expect_parse_error([] { game_from_text("goc-game v1\nminers two\n"); },
+                     "invalid count");
+  expect_parse_error(
+      [] { game_from_text("goc-game v1\nminers 2\npowers 1\n"); },
+      "powers expects exactly 2 values");
+  expect_parse_error(
+      [] {
+        game_from_text("goc-game v1\nminers 1\npowers 1\ncoins 1 2\n");
+      },
+      "coins expects one count");
+  expect_parse_error(
+      [] {
+        game_from_text(
+            "goc-game v1\nminers 1\npowers 1\ncoins 2\nrewards 5\n");
+      },
+      "rewards expects exactly 2 values");
+}
+
+TEST(SerializeErrors, GameAccessRows) {
+  const std::string base =
+      "goc-game v1\nminers 2\npowers 1 1\ncoins 2\nrewards 3 2\n";
+  expect_parse_error([&] { game_from_text(base + "trailer 10 01\n"); },
+                     "expected optional 'access'");
+  expect_parse_error([&] { game_from_text(base + "access 10\n"); },
+                     "one row per miner");
+  expect_parse_error([&] { game_from_text(base + "access 10 0\n"); },
+                     "one flag per coin");
+  expect_parse_error([&] { game_from_text(base + "access 10 0x\n"); },
+                     "access flags must be 0/1");
+}
+
+TEST(SerializeErrors, InvalidGameWrapped) {
+  // Structurally well-formed text whose values the Game constructor
+  // rejects must surface as the wrapped goc::io error, not a raw one.
+  expect_parse_error(
+      [] {
+        game_from_text("goc-game v1\nminers 1\npowers 0\ncoins 1\nrewards 1\n");
+      },
+      "goc::io: invalid game");
+}
+
+TEST(SerializeErrors, ConfigurationSites) {
+  auto system = std::make_shared<const System>(
+      System::from_integer_powers({1, 1}, 2));
+  expect_parse_error(
+      [&] { configuration_from_text("goc-config v3\nassignment 0 1\n", system); },
+      "unsupported configuration format version");
+  expect_parse_error(
+      [&] { configuration_from_text("goc-config v1\nassignment 0\n", system); },
+      "one coin per miner");
+  expect_parse_error(
+      [&] { configuration_from_text("goc-config v1\nassignment 0 9\n", system); },
+      "coin id out of range");
+  expect_parse_error(
+      [&] { configuration_from_text("goc-config v1\nassignment 0 -1\n", system); },
+      "invalid count");
+  EXPECT_THROW(configuration_from_text("goc-config v1\nassignment 0 1\n",
+                                       nullptr),
+               std::invalid_argument);
+}
+
+TEST(SerializeErrors, MessagesCarryLineNumbers) {
+  try {
+    game_from_text("goc-game v1\nminers 2\npowers 1\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+/// Test-local inverse of json_escape, strict: rejects anything the escaper
+/// would not produce.
+std::string json_unescape(const std::string& text) {
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (static_cast<unsigned char>(ch) < 0x20) {
+      throw std::invalid_argument("raw control character survived escaping");
+    }
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (++i >= text.size()) throw std::invalid_argument("dangling backslash");
+    switch (text[i]) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= text.size()) {
+          throw std::invalid_argument("truncated \\u escape");
+        }
+        unsigned value = 0;
+        for (int d = 0; d < 4; ++d) {
+          const char hex = text[++i];
+          value <<= 4;
+          if (hex >= '0' && hex <= '9') {
+            value |= static_cast<unsigned>(hex - '0');
+          } else if (hex >= 'a' && hex <= 'f') {
+            value |= static_cast<unsigned>(hex - 'a' + 10);
+          } else {
+            throw std::invalid_argument("non-hex digit in \\u escape");
+          }
+        }
+        if (value >= 0x20) {
+          throw std::invalid_argument("\\u escape outside control range");
+        }
+        out += static_cast<char>(value);
+        break;
+      }
+      default:
+        throw std::invalid_argument("unknown escape");
+    }
+  }
+  return out;
+}
+
+TEST(SerializeErrors, JsonEscapeKnownSequences) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  EXPECT_EQ(json_escape(std::string(1, '\0')), "\\u0000");
+  EXPECT_EQ(json_escape("\x1f"), "\\u001f");
+  EXPECT_EQ(json_escape("caf\xc3\xa9"), "caf\xc3\xa9");  // UTF-8 passthrough
+}
+
+TEST(SerializeErrors, JsonEscapeRoundTripFuzz) {
+  Rng rng(0x15CA9E);
+  for (int trial = 0; trial < 500; ++trial) {
+    std::string input;
+    const std::size_t len = rng.next_below(64);
+    for (std::size_t i = 0; i < len; ++i) {
+      // Bias toward the interesting bytes: controls, quote, backslash.
+      const std::uint64_t pick = rng.next_below(4);
+      char ch;
+      if (pick == 0) {
+        ch = static_cast<char>(rng.next_below(0x20));  // control range
+      } else if (pick == 1) {
+        ch = rng.bernoulli(0.5) ? '"' : '\\';
+      } else {
+        ch = static_cast<char>(rng.next_below(256));
+      }
+      input += ch;
+    }
+    const std::string escaped = json_escape(input);
+    ASSERT_EQ(json_unescape(escaped), input)
+        << "trial " << trial << " escaped form: " << escaped;
+  }
+}
+
+TEST(SerializeErrors, AtomicWriteReplacesAndCleansUp) {
+  const std::string path = "/tmp/goc_io_test_atomic.json";
+  atomic_write_file("first", path);
+  atomic_write_file("second", path);
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second");
+  std::remove(path.c_str());
+  // Failure leaves neither the target nor a stray .tmp behind.
+  EXPECT_THROW(atomic_write_file("x", "/nonexistent/dir/file.json"),
+               std::runtime_error);
 }
 
 TEST(Serialize, FileRoundTrip) {

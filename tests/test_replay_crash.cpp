@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "io/serialize.hpp"
+#include "replay/golden.hpp"
+#include "replay/replay.hpp"
+#include "util/rng.hpp"
+
+/// \file test_replay_crash.cpp
+/// Fault-injection verification of the checkpoint/resume machinery.
+///
+/// Each iteration forks the real `goc-replay batch` binary with a suicide
+/// switch (SIGKILL raised inside a random checkpoint write), then further
+/// abuses the artifact the child left behind — a random byte flip or a
+/// random truncation — and resumes the batch in-process. The recovery
+/// protocol under test: salvage what the file still proves, restart from
+/// scratch on a typed header error, and in every case end up bit-identical
+/// to an uninterrupted run at an unrelated thread count.
+///
+/// The fast `ReplayCrash` suite runs a handful of iterations; the
+/// slow-labeled `ReplayCrashSlow` soak runs 100 (the acceptance bar).
+/// Failed iterations keep their corrupted artifact under
+/// `replay_crash_artifacts/` next to the test binary so CI can upload it.
+
+namespace goc {
+namespace {
+
+std::string self_dir() {
+  char buf[4096];
+  const ::ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  const std::string path(buf);
+  const auto slash = path.rfind('/');
+  return slash == std::string::npos ? "." : path.substr(0, slash);
+}
+
+std::string replay_binary() { return self_dir() + "/goc-replay"; }
+
+std::string artifacts_dir() {
+  const std::string dir = self_dir() + "/replay_crash_artifacts";
+  ::mkdir(dir.c_str(), 0755);
+  return dir;
+}
+
+/// Forks and execs `goc-replay batch` with the given options; returns the
+/// raw waitpid status.
+int run_child_batch(const replay::CrashBatchOptions& options) {
+  std::vector<std::string> args = {
+      replay_binary(),
+      "batch",
+      "--checkpoint=" + options.checkpoint_path,
+      "--seed=" + std::to_string(options.seed),
+      "--replicas=" + std::to_string(options.replicas),
+      "--interval=" + std::to_string(options.interval),
+      "--threads=" + std::to_string(options.threads)};
+  if (options.adaptive) args.push_back("--adaptive");
+  if (options.kill_after > 0) {
+    args.push_back("--kill-after=" + std::to_string(options.kill_after));
+  }
+  const ::pid_t pid = ::fork();
+  if (pid == 0) {
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    if (std::freopen("/dev/null", "w", stdout) == nullptr) _exit(126);
+    ::execv(argv[0], argv.data());
+    _exit(127);  // exec failed
+  }
+  int status = 0;
+  ::waitpid(pid, &status, 0);
+  return status;
+}
+
+/// One kill + corrupt + resume round; returns an empty string on success,
+/// a failure description otherwise (the caller keeps the artifact).
+std::string fault_iteration(const sim::TrajectoryBatchResult& reference,
+                            const std::string& path, bool adaptive, Rng& rng) {
+  std::remove(path.c_str());
+  replay::CrashBatchOptions child;
+  child.adaptive = adaptive;
+  child.checkpoint_path = path;
+  child.threads = 1 + static_cast<std::size_t>(rng.next_below(4));
+  child.kill_after = 1 + static_cast<std::size_t>(rng.next_below(6));
+  const int status = run_child_batch(child);
+  const bool killed = WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL;
+  const bool finished = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (!killed && !finished) {
+    return "child neither finished nor died of SIGKILL (status " +
+           std::to_string(status) + ")";
+  }
+  if (!replay::file_exists(path)) {
+    return "child left no checkpoint artifact";
+  }
+
+  // Random post-crash damage: 0 = leave the file as the kill left it,
+  // 1 = flip one random bit, 2 = truncate at a random offset.
+  const std::uint64_t mode = rng.next_below(3);
+  if (mode != 0) {
+    std::string image = replay::read_file_bytes(path);
+    if (image.empty()) return "artifact is empty";
+    if (mode == 1) {
+      image[static_cast<std::size_t>(rng.next_below(image.size()))] ^=
+          static_cast<char>(1u << rng.next_below(8));
+    } else {
+      image.resize(static_cast<std::size_t>(rng.next_below(image.size())));
+    }
+    io::atomic_write_file(image, path);
+  }
+
+  // Resume at an unrelated thread count. Recovery protocol: a typed error
+  // (corrupted magic/version/header) means the artifact proves nothing —
+  // delete it and restart clean. Anything salvageable resumes in place.
+  replay::CrashBatchOptions resume;
+  resume.adaptive = adaptive;
+  resume.checkpoint_path = path;
+  resume.threads = 1 + static_cast<std::size_t>(rng.next_below(4));
+  std::optional<sim::TrajectoryBatchResult> result;
+  try {
+    result.emplace(replay::run_crash_demo_batch(resume));
+  } catch (const replay::ReplayException&) {
+    std::remove(path.c_str());
+    result.emplace(replay::run_crash_demo_batch(resume));
+  }
+
+  if (!result->deterministic_equals(reference)) {
+    return "resumed values diverge from the uninterrupted reference";
+  }
+  if (result->values_hash() != reference.values_hash()) {
+    return "values hash diverges";
+  }
+  if (result->replicas() != reference.replicas() ||
+      result->stop_reason() != reference.stop_reason()) {
+    return "replica count / stop reason diverges";
+  }
+  return "";
+}
+
+void run_fault_iterations(std::size_t iterations, std::uint64_t seed,
+                          bool adaptive, const std::string& tag) {
+  ASSERT_TRUE(replay::file_exists(replay_binary()))
+      << replay_binary()
+      << " not found — build the goc-replay target next to the tests";
+
+  // The uninterrupted reference, computed in-process once.
+  const std::string ref_path = artifacts_dir() + "/" + tag + "_reference.gocr";
+  std::remove(ref_path.c_str());
+  replay::CrashBatchOptions ref;
+  ref.adaptive = adaptive;
+  ref.checkpoint_path = ref_path;
+  const sim::TrajectoryBatchResult reference =
+      replay::run_crash_demo_batch(ref);
+  std::remove(ref_path.c_str());
+
+  Rng rng(seed);
+  for (std::size_t it = 0; it < iterations; ++it) {
+    const std::string path =
+        artifacts_dir() + "/" + tag + "_" + std::to_string(it) + ".gocr";
+    const std::string failure = fault_iteration(reference, path, adaptive, rng);
+    if (failure.empty()) {
+      std::remove(path.c_str());
+    } else {
+      ADD_FAILURE() << tag << " iteration " << it << ": " << failure
+                    << " (artifact kept at " << path << ")";
+    }
+  }
+}
+
+// Fast suite: a handful of rounds on every CI lane.
+TEST(ReplayCrash, KillCorruptResumeFixed) {
+  run_fault_iterations(4, 0xC0AC1DEA, false, "fast_fixed");
+}
+
+TEST(ReplayCrash, KillCorruptResumeAdaptive) {
+  run_fault_iterations(3, 0xADA9717E, true, "fast_adaptive");
+}
+
+// Slow-labeled soak: the 100-iteration acceptance bar.
+TEST(ReplayCrashSlow, HundredIterationSoak) {
+  run_fault_iterations(60, 0x50AC50AC, false, "soak_fixed");
+  run_fault_iterations(40, 0x50AC50AD, true, "soak_adaptive");
+}
+
+}  // namespace
+}  // namespace goc
