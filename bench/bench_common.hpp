@@ -5,6 +5,7 @@
 #include <string>
 
 #include "io/serialize.hpp"
+#include "sim/batch_cli.hpp"
 #include "sim/trajectory.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -76,52 +77,19 @@ inline void emit(const Cli& cli, const Table& table, const std::string& title,
 
 /// The shared Monte Carlo batch flags, uniform across every bench that
 /// fans replicas (`bench_des --adaptive`, `bench_chain_validation`,
-/// `bench_fig1_market`, `sweep_demo`):
-///
-/// ```
-/// --replicas=N --threads=N
-/// --stop-metric=NAME            engage CI-driven sequential stopping
-///   [--stop-tol=X]              95% CI half-width target (default 0)
-///   [--stop-rel]                interpret tolerance relative to |mean|
-///   [--stop-min=N --stop-max=N --stop-wave=N]
-/// --checkpoint=PATH             crash-safe wave-boundary checkpoints
-///   [--checkpoint-interval=N]   fixed-R replicas per write (default 16)
-/// ```
-///
-/// `--stop-max` defaults to `--replicas` so "the same study, adaptive" is
-/// one extra flag. Values already present in `options` act as defaults, so
-/// callers can pre-seed workload-specific rules.
+/// `bench_fig1_market`, `sweep_demo`). The grammar and the pre-seeding
+/// contract live with the implementation in `sim/batch_cli.hpp`, which
+/// the serve daemon's request parser shares — these wrappers only keep
+/// the historical `bench::` spelling alive.
 inline void apply_batch_cli(const Cli& cli,
                             sim::TrajectoryBatchOptions& options) {
-  options.replicas = cli.get_u64("replicas", options.replicas);
-  options.threads = cli.get_u64("threads", options.threads);
-  const std::string metric = cli.get_string("stop-metric", "");
-  if (!metric.empty()) {
-    sim::StoppingRule rule;
-    if (options.stopping.has_value()) rule = *options.stopping;
-    rule.metric = metric;
-    rule.tolerance = cli.get_double("stop-tol", rule.tolerance);
-    rule.relative = cli.get_bool("stop-rel", rule.relative);
-    rule.min_replicas = cli.get_u64("stop-min", rule.min_replicas);
-    rule.max_replicas = cli.get_u64("stop-max", options.replicas);
-    rule.wave = cli.get_u64("stop-wave", rule.wave);
-    options.stopping = rule;
-  }
-  const std::string checkpoint = cli.get_string("checkpoint", "");
-  if (!checkpoint.empty()) {
-    replay::CheckpointOptions ckpt;
-    ckpt.path = checkpoint;
-    ckpt.interval = cli.get_u64("checkpoint-interval", ckpt.interval);
-    options.checkpoint = ckpt;
-  }
+  sim::apply_batch_cli(cli, options);
 }
 
-/// The `--epoch-lanes` flag (`chain::ChainSimOptions::epoch_lanes` /
-/// `market::Fig1ReplayParams::epoch_lanes`): 0 = the sequential policy
-/// scan, >= 1 = the sharded simultaneous-move decision epoch.
+/// See `sim::epoch_lanes_from_cli` (the `--epoch-lanes` flag).
 inline std::size_t epoch_lanes_from_cli(const Cli& cli,
                                         std::size_t fallback = 0) {
-  return static_cast<std::size_t>(cli.get_u64("epoch-lanes", fallback));
+  return sim::epoch_lanes_from_cli(cli, fallback);
 }
 
 }  // namespace goc::bench

@@ -29,6 +29,7 @@
 #include "market/market_sim.hpp"
 #include "market/price_process.hpp"
 #include "sim/event_core.hpp"
+#include "sim/scenarios.hpp"
 #include "sim/trajectory.hpp"
 #include "util/rng.hpp"
 
@@ -38,49 +39,19 @@ using namespace goc;
 
 // ------------------------------------------------------------- workloads
 
-/// The reference chain workload: a heavy-tailed population spread over
-/// many chains under game-semantics migration — block events dominate, and
-/// the legacy path pays a full miner scan per block.
+/// The reference chain workload lives in sim/scenarios.hpp now — the serve
+/// daemon submits the identical scenario, and CI asserts the daemon batch
+/// and this bench produce bit-identical `values_hash`.
 chain::MultiChainSimulator make_reference_chain(std::size_t miners,
                                                 std::size_t num_chains,
                                                 double days,
                                                 sim::EngineKind engine,
                                                 std::uint64_t seed) {
-  Rng setup(seed ^ 0xDE5ULL);
-  std::vector<double> powers;
-  powers.reserve(miners);
-  for (std::size_t i = 0; i < miners; ++i) {
-    powers.push_back(std::min(4000.0, std::ceil(setup.pareto(10.0, 1.16))));
-  }
-  std::vector<std::size_t> assignment;
-  assignment.reserve(miners);
-  for (std::size_t i = 0; i < miners; ++i) {
-    assignment.push_back(i % num_chains);
-  }
-  std::vector<double> mass(num_chains, 0.0);
-  for (std::size_t i = 0; i < miners; ++i) mass[assignment[i]] += powers[i];
-
-  std::vector<chain::ChainSpec> chains;
-  for (std::size_t c = 0; c < num_chains; ++c) {
-    // Difficulty calibrated to the initial split (protocol cadence 6/h);
-    // rewards spread 3:1 so better-response migration stays busy.
-    const double reward = 10.0 + 20.0 * static_cast<double>(c) /
-                                     static_cast<double>(num_chains);
-    chains.push_back(chain::ChainSpec{
-        "c" + std::to_string(c), std::max(1.0, mass[c] / 6.0), 1.0 / 6.0,
-        reward,
-        std::make_unique<chain::FixedWindowRetarget>(72, 1.0 / 6.0)});
-  }
-  chain::ChainSimOptions options;
-  options.duration_hours = days * 24.0;
-  options.decision_interval_hours = 4.0;
-  options.policy = chain::MinerPolicy::kBetterResponse;
-  options.reevaluation_fraction = 0.15;
-  options.seed = seed;
-  options.record_timeline = false;
-  options.engine = engine;
-  return chain::MultiChainSimulator(std::move(powers), std::move(chains),
-                                    options, std::move(assignment));
+  sim::ReferenceChainParams params;
+  params.miners = miners;
+  params.chains = num_chains;
+  params.days = days;
+  return sim::make_reference_chain(params, engine, seed);
 }
 
 /// The EDA stress: few miners, hot invalidation churn (every epoch moves
@@ -215,6 +186,22 @@ EngineRun time_market(std::size_t epochs, sim::EngineKind engine,
 
 int run(int argc, char** argv) {
   const Cli cli(argc, argv);
+  {
+    // Fail fast on typos (`--stop-maxx=64` silently running the full study
+    // is exactly the kind of wasted night this guards against).
+    std::vector<std::string> known = {"quick",    "threads", "seed",
+                                      "compare-scan", "adaptive", "csv",
+                                      "json"};
+    const auto& batch = sim::batch_cli_names();
+    known.insert(known.end(), batch.begin(), batch.end());
+    const std::vector<std::string> stray = cli.unknown(known);
+    if (!stray.empty()) {
+      std::cerr << "bench_des: unknown option(s):";
+      for (const auto& name : stray) std::cerr << " --" << name;
+      std::cerr << "\n";
+      return 2;
+    }
+  }
   const bool quick = cli.get_bool("quick", false);
   const std::size_t threads = cli.get_u64("threads", 0);  // 0 = all cores
   const std::uint64_t seed0 = cli.get_u64("seed", 2017);

@@ -12,6 +12,7 @@
 #include "core/configuration.hpp"
 #include "core/game.hpp"
 #include "core/system.hpp"
+#include "engine/cancel.hpp"
 #include "engine/thread_pool.hpp"
 #include "util/assert.hpp"
 #include "util/int128.hpp"
@@ -160,6 +161,12 @@ struct EnumerationOptions {
   /// costs more than walking a small game). Non-owning; lanes =
   /// pool->num_threads() + 1. nullptr = spawn from `threads`.
   engine::ThreadPool* pool = nullptr;
+  /// Cooperative cancellation (engine/cancel.hpp): polled before every
+  /// shard walk; a stale view makes the fan-out throw `engine::Cancelled`.
+  /// Default never cancels. Granularity is one shard — coarse, but an
+  /// enumeration that matters is sharded, and the serial small-space path
+  /// finishes faster than any cancel could land.
+  engine::CancelView cancel;
 };
 
 /// A deterministic split of the canonical space into consecutive rank
@@ -309,8 +316,10 @@ auto run_shards(const ShardPlan& plan, const EnumerationOptions& opts,
     states.push_back(make_state(i));
   }
   const auto run = [&](engine::ThreadPool& pool) {
-    pool.parallel_for(plan.sizes.size(),
-                      [&](std::size_t i) { walk_shard(states[i], i); });
+    pool.parallel_for(plan.sizes.size(), [&](std::size_t i) {
+      opts.cancel.throw_if_stale("enumeration cancelled");
+      walk_shard(states[i], i);
+    });
   };
   if (opts.pool != nullptr && lanes > 1) {
     run(*opts.pool);

@@ -309,12 +309,21 @@ SweepRecord SweepRunner::run_task(const SweepTask& task,
 
 SweepResult SweepRunner::run(const SweepSpec& spec) const {
   const std::vector<SweepTask> tasks = spec.expand();
-  const std::size_t lanes = ThreadPool::resolve_lanes(options_.threads);
-  ThreadPool pool(ThreadPool::workers_for(lanes));
+  std::optional<ThreadPool> owned;
+  ThreadPool* pool = options_.pool;
+  std::size_t lanes;
+  if (pool != nullptr) {
+    lanes = pool->num_threads() + 1;
+  } else {
+    lanes = ThreadPool::resolve_lanes(options_.threads);
+    owned.emplace(ThreadPool::workers_for(lanes));
+    pool = &*owned;
+  }
 
   std::vector<SweepRecord> records(tasks.size());
   const auto started = clock_type::now();
-  pool.parallel_for(tasks.size(), [&](std::size_t i) {
+  pool->parallel_for(tasks.size(), [&](std::size_t i) {
+    options_.cancel.throw_if_stale("sweep cancelled");
     LearningOptions options = spec.learning;
     if (spec.audit_max_miners > 0 &&
         tasks[i].game_spec.num_miners <= spec.audit_max_miners) {

@@ -8,6 +8,7 @@
 #include "core/generators.hpp"
 #include "dynamics/learning.hpp"
 #include "dynamics/scheduler.hpp"
+#include "engine/cancel.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
@@ -30,6 +31,8 @@
 /// are regenerable anywhere.
 
 namespace goc::engine {
+
+class ThreadPool;  // engine/thread_pool.hpp
 
 /// One fully-resolved scenario: a point of the parameter grid plus a trial
 /// replicate, with its derived seeds.
@@ -184,8 +187,16 @@ class SweepRunner {
  public:
   struct Options {
     /// Total concurrent lanes. 0 = one lane per hardware thread; 1 = the
-    /// serial reference path (no worker threads at all).
+    /// serial reference path (no worker threads at all). Ignored when
+    /// `pool` is set.
     std::size_t threads = 0;
+    /// Reuse an existing pool (the serve daemon's warm pool, a batch
+    /// engine's) instead of spawning one per sweep. Non-owning; lanes =
+    /// pool->num_threads() + 1. nullptr = spawn from `threads`.
+    ThreadPool* pool = nullptr;
+    /// Cooperative cancellation: polled before every task; a stale view
+    /// makes `run` throw `engine::Cancelled`. Default never cancels.
+    CancelView cancel;
   };
 
   SweepRunner() : SweepRunner(Options{}) {}

@@ -345,7 +345,12 @@ void atomic_write_file(const std::string& content, const std::string& path) {
   // fsync *before* rename: the rename must never become durable ahead of
   // the bytes it points at, or a crash could leave a short file under the
   // final name — exactly the torn artifact this function exists to prevent.
-  if (::fsync(fd) != 0 || ::close(fd) != 0) {
+  // close() runs unconditionally: short-circuiting it after a failed fsync
+  // would leak the descriptor, and a long-lived daemon calling this per
+  // checkpoint would bleed fds until open() itself starts failing.
+  const bool synced = ::fsync(fd) == 0;
+  const bool closed = ::close(fd) == 0;
+  if (!synced || !closed) {
     std::remove(tmp.c_str());
     throw std::runtime_error("failed flushing " + tmp);
   }

@@ -1,0 +1,185 @@
+#include "serve/job_table.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace goc::serve {
+
+const char* job_state_name(JobState state) noexcept {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kCancelled:
+      return "cancelled";
+  }
+  return "unknown";
+}
+
+bool job_state_terminal(JobState state) noexcept {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+JobStatus JobTable::snapshot_locked(const Job& job) const {
+  JobStatus status;
+  status.id = job.id;
+  status.kind = job.kind;
+  status.state = job.state;
+  status.detail = job.detail;
+  return status;
+}
+
+void JobTable::run_driver(const std::shared_ptr<Job>& job, const Work& work) {
+  const engine::CancelView view = engine::CancelView::of(job->token);
+  // A cancel (or shutdown) that lands before the snapshot above has
+  // already bumped the token, so the view reads *fresh* and would never
+  // go stale — the terminal-state check below is what catches that
+  // window. cancel() orders its state write before the bump, so a fresh
+  // view from a pre-start cancel implies the state is already terminal
+  // here; a cancel after the snapshot makes the view stale instead, and
+  // the first poll throws.
+  bool cancelled_before_start = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (job_state_terminal(job->state)) {
+      job->driver_done = true;
+      cancelled_before_start = true;
+    } else {
+      job->state = JobState::kRunning;
+    }
+  }
+  if (cancelled_before_start) {
+    done_cv_.notify_all();
+    return;
+  }
+  JobOutcome outcome;
+  JobState final_state = JobState::kDone;
+  std::string detail;
+  try {
+    view.throw_if_stale("job cancelled before start");
+    outcome = work(view);
+  } catch (const engine::Cancelled&) {
+    final_state = JobState::kCancelled;
+  } catch (const std::exception& error) {
+    final_state = JobState::kFailed;
+    detail = error.what();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // A cancel() that won the race keeps the job cancelled even when the
+    // work raced to completion — the client was already told "cancelled",
+    // and handing out a result it asked to abandon would be a lie.
+    if (!job_state_terminal(job->state)) {
+      job->state = final_state;
+      job->detail = std::move(detail);
+      if (final_state == JobState::kDone) job->outcome = std::move(outcome);
+    }
+    job->driver_done = true;
+  }
+  done_cv_.notify_all();
+}
+
+std::uint64_t JobTable::submit(std::string kind, Work work) {
+  GOC_CHECK_ARG(work != nullptr, "JobTable::submit requires a work closure");
+  auto job = std::make_shared<Job>();
+  job->kind = std::move(kind);
+  std::lock_guard<std::mutex> lock(mutex_);
+  job->id = next_id_++;
+  // The driver is a dedicated thread, never a pool lane: the work fans
+  // onto the shared pool with parallel_for, and a pool worker blocking on
+  // its own pool's futures would deadlock. Started under the table lock so
+  // `job->driver` is fully assigned before the job becomes visible (the
+  // driver's own first lock acquisition serializes behind this one), and a
+  // concurrent fetch can never move a half-assigned thread object.
+  job->driver = std::thread([this, job, work = std::move(work)] {
+    run_driver(job, work);
+  });
+  jobs_.emplace(job->id, job);
+  return job->id;
+}
+
+std::optional<JobStatus> JobTable::status(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) return std::nullopt;
+  return snapshot_locked(*it->second);
+}
+
+std::vector<JobStatus> JobTable::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<JobStatus> statuses;
+  statuses.reserve(jobs_.size());
+  for (const auto& [_, job] : jobs_) statuses.push_back(snapshot_locked(*job));
+  return statuses;
+}
+
+bool JobTable::cancel(std::uint64_t id) {
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return false;
+    if (job_state_terminal(it->second->state)) return false;
+    it->second->state = JobState::kCancelled;
+    job = it->second;
+  }
+  // Invalidate outside the lock: the engines poll the token lock-free,
+  // and the bump itself is what makes every live CancelView stale.
+  job->token.invalidate();
+  return true;
+}
+
+std::optional<JobTable::Fetched> JobTable::fetch(std::uint64_t id, bool wait) {
+  std::thread driver;
+  Fetched fetched;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end()) return std::nullopt;
+    const std::shared_ptr<Job> job = it->second;
+    if (!wait && !(job_state_terminal(job->state) && job->driver_done)) {
+      fetched.status = snapshot_locked(*job);
+      return fetched;  // entry retained; caller sees a live snapshot
+    }
+    done_cv_.wait(lock, [&] {
+      return job_state_terminal(job->state) && job->driver_done;
+    });
+    fetched.status = snapshot_locked(*job);
+    fetched.outcome = std::move(job->outcome);
+    driver = std::move(job->driver);
+    jobs_.erase(it);
+  }
+  if (driver.joinable()) driver.join();
+  return fetched;
+}
+
+std::size_t JobTable::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+void JobTable::shutdown() {
+  std::vector<std::shared_ptr<Job>> jobs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [_, job] : jobs_) {
+      if (!job_state_terminal(job->state)) job->state = JobState::kCancelled;
+      jobs.push_back(job);
+    }
+    jobs_.clear();
+  }
+  for (const auto& job : jobs) job->token.invalidate();
+  for (const auto& job : jobs) {
+    if (job->driver.joinable()) job->driver.join();
+  }
+}
+
+}  // namespace goc::serve

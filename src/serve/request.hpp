@@ -1,0 +1,47 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/generators.hpp"
+#include "dynamics/scheduler.hpp"
+#include "util/cli.hpp"
+
+/// \file request.hpp
+/// Parsing for the serve daemon's line protocol.
+///
+/// A request line is whitespace-separated tokens: a verb, then the same
+/// `--name=value` / `--name value` / `--flag` option syntax every binary
+/// in this repo speaks — the tokens are handed to `goc::Cli` verbatim, so
+/// the daemon's flags parse (and fail) exactly like the CLI's, and
+/// `Cli::unknown` gives the same fail-fast typo rejection. No quoting:
+/// values cannot contain whitespace (none of the option surface needs it).
+
+namespace goc::serve {
+
+/// Splits a protocol line on runs of spaces/tabs; a trailing '\r' (CRLF
+/// clients over TCP) is stripped first.
+std::vector<std::string> tokenize(const std::string& line);
+
+/// Builds a `Cli` over `args` with `program` as argv[0] (so option-error
+/// messages name the command that failed).
+Cli cli_from_tokens(const std::string& program,
+                    const std::vector<std::string>& args);
+
+/// Throws std::invalid_argument naming every option of `cli` outside
+/// `known` — the protocol's fail-fast guard, shared with the bench
+/// binaries' `Cli::unknown` checks.
+void reject_unknown(const Cli& cli, const std::vector<std::string>& known);
+
+/// Comma-separated u64 list ("16,64,256"); empty string → empty vector.
+std::vector<std::size_t> parse_size_list(const std::string& text,
+                                         const std::string& what);
+
+/// Shape / scheduler names, inverse to `power_shape_name` /
+/// `reward_shape_name` / `scheduler_kind_name`. Throw
+/// std::invalid_argument on an unknown name (listing the valid ones).
+PowerShape power_shape_from_name(const std::string& name);
+RewardShape reward_shape_from_name(const std::string& name);
+SchedulerKind scheduler_kind_from_name(const std::string& name);
+
+}  // namespace goc::serve

@@ -1,0 +1,47 @@
+#include "sim/batch_cli.hpp"
+
+namespace goc::sim {
+
+void apply_batch_cli(const Cli& cli, TrajectoryBatchOptions& options) {
+  options.replicas = cli.get_u64("replicas", options.replicas);
+  options.threads = cli.get_u64("threads", options.threads);
+  const bool preseeded = options.stopping.has_value();
+  const std::string metric =
+      cli.get_string("stop-metric", preseeded ? options.stopping->metric : "");
+  if (!metric.empty()) {
+    StoppingRule rule;
+    if (preseeded) rule = *options.stopping;
+    rule.metric = metric;
+    rule.tolerance = cli.get_double("stop-tol", rule.tolerance);
+    rule.relative = cli.get_bool("stop-rel", rule.relative);
+    rule.min_replicas = cli.get_u64("stop-min", rule.min_replicas);
+    // A pre-seeded ceiling is a deliberate default and must survive (the
+    // documented contract); only a rule born from the flags alone falls
+    // back to --replicas, so "the same study, adaptive" is one extra flag.
+    rule.max_replicas = cli.get_u64(
+        "stop-max", preseeded ? rule.max_replicas : options.replicas);
+    rule.wave = cli.get_u64("stop-wave", rule.wave);
+    options.stopping = rule;
+  }
+  const std::string checkpoint = cli.get_string("checkpoint", "");
+  if (!checkpoint.empty()) {
+    replay::CheckpointOptions ckpt;
+    ckpt.path = checkpoint;
+    ckpt.interval = cli.get_u64("checkpoint-interval", ckpt.interval);
+    options.checkpoint = ckpt;
+  }
+}
+
+const std::vector<std::string>& batch_cli_names() {
+  static const std::vector<std::string> kNames = {
+      "replicas",  "threads",  "stop-metric", "stop-tol",
+      "stop-rel",  "stop-min", "stop-max",    "stop-wave",
+      "checkpoint", "checkpoint-interval"};
+  return kNames;
+}
+
+std::size_t epoch_lanes_from_cli(const Cli& cli, std::size_t fallback) {
+  return static_cast<std::size_t>(cli.get_u64("epoch-lanes", fallback));
+}
+
+}  // namespace goc::sim

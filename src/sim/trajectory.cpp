@@ -219,9 +219,13 @@ TrajectoryBatchResult run_trajectory_batch(
     if (ckpt->on_write) ckpt->on_write(done);
   };
 
+  // Cancellation granularity is one replica: `parallel_for` stops handing
+  // out indices after the first throw, so a cancel lands within one unit
+  // of replica work plus whatever is already in flight.
   const auto run_range = [&](engine::ThreadPool& pool, std::size_t begin,
                              std::size_t end) {
     pool.parallel_for(end - begin, [&](std::size_t k) {
+      options.cancel.throw_if_stale("trajectory batch cancelled");
       const std::size_t r = begin + k;
       const std::uint64_t seed = engine::task_seed(options.root_seed, r, 0);
       const std::vector<double> row = replica(r, seed);
@@ -239,6 +243,8 @@ TrajectoryBatchResult run_trajectory_batch(
     owned.emplace(engine::ThreadPool::workers_for(lanes));
     pool = &*owned;
   }
+
+  options.cancel.throw_if_stale("trajectory batch cancelled before start");
 
   std::size_t run_count = 0;
   StopReason reason = StopReason::kFixedReplicas;
@@ -262,6 +268,7 @@ TrajectoryBatchResult run_trajectory_batch(
     const StoppingRule& rule = *options.stopping;
     reason = StopReason::kMaxReplicas;
     while (run_count < rule.max_replicas) {
+      options.cancel.throw_if_stale("trajectory batch cancelled");
       // Wave boundaries depend only on (min_replicas, max_replicas, wave):
       // the first wave jumps straight to min_replicas, later ones add a
       // fixed `wave` — never a lane-count-derived amount.

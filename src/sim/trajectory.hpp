@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "chain/chain_sim.hpp"
+#include "engine/cancel.hpp"
 #include "market/market_sim.hpp"
 #include "market/scenario.hpp"
 #include "replay/checkpoint.hpp"
@@ -102,6 +103,11 @@ struct TrajectoryBatchOptions {
   /// uninterrupted run — same values, `values_hash`, summaries and (for
   /// adaptive batches) the same chosen R, at any `threads`.
   std::optional<replay::CheckpointOptions> checkpoint;
+  /// Cooperative cancellation (engine/cancel.hpp): polled before every
+  /// replica and at wave boundaries; a stale view makes the batch throw
+  /// `engine::Cancelled` instead of returning a torn result. The default
+  /// (no token) never cancels — existing callers are unaffected.
+  engine::CancelView cancel;
 };
 
 /// Splits one shared pool's lanes between the two parallelism levels of a

@@ -1,5 +1,6 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "util/assert.hpp"
@@ -91,6 +92,17 @@ std::vector<std::string> Cli::option_names() const {
   names.reserve(options_.size());
   for (const auto& [k, _] : options_) names.push_back(k);
   return names;
+}
+
+std::vector<std::string> Cli::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> stray;
+  for (const auto& [name, _] : options_) {
+    if (std::find(known.begin(), known.end(), name) == known.end()) {
+      stray.push_back(name);
+    }
+  }
+  return stray;
 }
 
 }  // namespace goc

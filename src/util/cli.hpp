@@ -9,8 +9,9 @@
 /// Minimal command-line option parsing for example and benchmark binaries.
 ///
 /// Accepted syntax: `--name=value`, `--name value`, and boolean `--flag`.
-/// Unknown options are collected and reported via `unknown()` so binaries
-/// can fail fast with a usage string.
+/// `unknown(known_names)` returns the parsed option names outside a known
+/// set so binaries (and the serve daemon's request parser) can fail fast
+/// with a usage string instead of silently ignoring a typo.
 
 namespace goc {
 
@@ -38,6 +39,12 @@ class Cli {
 
   /// Option names that were parsed (for validation against a known set).
   std::vector<std::string> option_names() const;
+
+  /// Parsed option names NOT in `known` (sorted, as parsed order is lost
+  /// to the map). Empty means every option was recognised; non-empty is
+  /// the fail-fast signal — a typo like `--stop-maxx` never silently
+  /// falls back to a default again.
+  std::vector<std::string> unknown(const std::vector<std::string>& known) const;
 
  private:
   std::string program_;

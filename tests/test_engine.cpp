@@ -7,9 +7,12 @@
 
 #include "core/generators.hpp"
 #include "dynamics/learning.hpp"
+#include "engine/cancel.hpp"
 #include "engine/sweep.hpp"
 #include "engine/thread_pool.hpp"
 #include "equilibrium/welfare.hpp"
+#include "sim/batch_cli.hpp"
+#include "util/cli.hpp"
 #include "util/rng.hpp"
 
 namespace goc::engine {
@@ -314,6 +317,94 @@ TEST(SweepResult, TableHasOneRowPerGridPoint) {
   // 2 × 2 × 2 × 1 × 3 grid points (trials collapse into rows).
   EXPECT_EQ(result.to_table().rows(), 24u);
   EXPECT_EQ(result.points().size(), 24u);
+}
+
+// ------------------------------------------------- pool sharing + cancel
+
+TEST(SweepRunner, SharedPoolMatchesOwnedPoolBitForBit) {
+  const SweepSpec spec = small_spec();
+  const SweepResult owned = SweepRunner({/*threads=*/4}).run(spec);
+  ThreadPool pool(3);  // + the driving thread = 4 lanes
+  SweepRunner::Options options;
+  options.pool = &pool;
+  const SweepResult shared = SweepRunner(options).run(spec);
+  EXPECT_TRUE(owned.deterministic_equals(shared));
+}
+
+TEST(SweepRunner, StaleCancelViewAbortsTheSweep) {
+  const SweepSpec spec = small_spec();
+  CancelToken token;
+  SweepRunner::Options options;
+  options.threads = 2;
+  options.cancel = CancelView::of(token);
+  token.invalidate();  // stale before the sweep starts
+  EXPECT_THROW(SweepRunner(options).run(spec), Cancelled);
+  // A fresh view runs normally.
+  options.cancel = CancelView::of(token);
+  EXPECT_NO_THROW(SweepRunner(options).run(spec));
+}
+
+// ------------------------------------------------------------ batch CLI
+
+/// Regression: `apply_batch_cli` once resolved `--stop-max` as
+/// `cli.get_u64("stop-max", options.replicas)`, silently flattening a
+/// caller's pre-seeded `stopping->max_replicas` ceiling to the replica
+/// count whenever the flag was absent.
+TEST(BatchCli, PreSeededStoppingRuleSurvivesWithoutStopMax) {
+  sim::TrajectoryBatchOptions options;
+  options.replicas = 64;
+  sim::StoppingRule rule;
+  rule.metric = "blocks_total";
+  rule.tolerance = 0.02;
+  rule.relative = true;
+  rule.max_replicas = 1024;  // a deliberate, wider-than-replicas ceiling
+  rule.wave = 8;
+  options.stopping = rule;
+
+  const char* argv[] = {"test", "--stop-tol=0.01"};
+  sim::apply_batch_cli(Cli(2, argv), options);
+  ASSERT_TRUE(options.stopping.has_value());
+  EXPECT_EQ(options.stopping->metric, "blocks_total");
+  EXPECT_DOUBLE_EQ(options.stopping->tolerance, 0.01);  // flag applied
+  EXPECT_EQ(options.stopping->max_replicas, 1024u);     // ceiling survives
+  EXPECT_EQ(options.stopping->wave, 8u);
+
+  // An explicit --stop-max still overrides the pre-seeded ceiling.
+  const char* argv_max[] = {"test", "--stop-max=32"};
+  sim::apply_batch_cli(Cli(2, argv_max), options);
+  EXPECT_EQ(options.stopping->max_replicas, 32u);
+
+  // Without pre-seeding, --stop-max still defaults to --replicas.
+  sim::TrajectoryBatchOptions fresh;
+  const char* argv_fresh[] = {"test", "--replicas=48",
+                              "--stop-metric=share_mae"};
+  sim::apply_batch_cli(Cli(3, argv_fresh), fresh);
+  ASSERT_TRUE(fresh.stopping.has_value());
+  EXPECT_EQ(fresh.stopping->max_replicas, 48u);
+}
+
+TEST(BatchCli, NoStoppingFlagsLeaveOptionsAlone) {
+  sim::TrajectoryBatchOptions options;
+  const char* argv[] = {"test", "--replicas=8"};
+  sim::apply_batch_cli(Cli(2, argv), options);
+  EXPECT_EQ(options.replicas, 8u);
+  EXPECT_FALSE(options.stopping.has_value());
+  EXPECT_FALSE(options.checkpoint.has_value());
+}
+
+// ------------------------------------------------------------ Cli::unknown
+
+TEST(CliUnknown, FlagsOutsideTheKnownSet) {
+  const char* argv[] = {"prog", "--alpha=1", "--beta", "--gamma", "2"};
+  const Cli cli(5, argv);
+  EXPECT_TRUE(cli.unknown({"alpha", "beta", "gamma"}).empty());
+  EXPECT_EQ(cli.unknown({"alpha", "gamma"}),
+            (std::vector<std::string>{"beta"}));
+  EXPECT_EQ(cli.unknown({}), (std::vector<std::string>{"alpha", "beta",
+                                                       "gamma"}));
+  // Positional arguments are not options and never flagged.
+  const char* argv_pos[] = {"prog", "file.txt"};
+  EXPECT_TRUE(Cli(2, argv_pos).unknown({}).empty());
 }
 
 }  // namespace

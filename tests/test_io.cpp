@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 #include <cstdio>
 #include <fstream>
 #include <iterator>
@@ -333,6 +336,56 @@ TEST(SerializeErrors, AtomicWriteReplacesAndCleansUp) {
   // Failure leaves neither the target nor a stray .tmp behind.
   EXPECT_THROW(atomic_write_file("x", "/nonexistent/dir/file.json"),
                std::runtime_error);
+}
+
+/// Open descriptors of this process (via /proc/self/fd). The count
+/// includes the directory fd used for the scan itself, identically on
+/// every call — so equality across calls means no descriptor leaked.
+std::size_t count_open_fds() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  EXPECT_NE(dir, nullptr);
+  if (dir == nullptr) return 0;
+  std::size_t count = 0;
+  while (::readdir(dir) != nullptr) ++count;
+  ::closedir(dir);
+  return count;
+}
+
+/// Regression: `atomic_write_file` once short-circuited
+/// `fsync(fd) != 0 || close(fd) != 0`, leaking the descriptor whenever
+/// fsync failed — fatal for a long-lived daemon checkpointing per wave.
+/// Descriptors must be conserved across *every* failure path. The forced
+/// failures here are ones that work for any uid (root ignores read-only
+/// directory permissions): open() on a path whose .tmp is a directory
+/// (EISDIR), and rename() onto a non-empty directory (ENOTEMPTY) — the
+/// latter exercising the full open/write/fsync/close sequence first.
+TEST(SerializeErrors, AtomicWriteConservesFdsOnFailurePaths) {
+  const std::string base = "/tmp/goc_io_test_fdleak";
+  const std::string tmp_dir = base + ".tmp";
+  ASSERT_EQ(::mkdir(tmp_dir.c_str(), 0755), 0);
+  const std::size_t before = count_open_fds();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_THROW(atomic_write_file("x", base), std::runtime_error);
+  }
+  EXPECT_EQ(count_open_fds(), before);
+  ASSERT_EQ(::rmdir(tmp_dir.c_str()), 0);
+
+  // rename failure: the target is a non-empty directory, so the write,
+  // fsync and close all succeed and only the final rename throws.
+  const std::string dir_target = "/tmp/goc_io_test_fdleak_dir";
+  ASSERT_EQ(::mkdir(dir_target.c_str(), 0755), 0);
+  const std::string inner = dir_target + "/occupied";
+  atomic_write_file("occupied", inner);
+  const std::size_t before_rename = count_open_fds();
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_THROW(atomic_write_file("x", dir_target), std::runtime_error);
+  }
+  EXPECT_EQ(count_open_fds(), before_rename);
+  // The failure also removed its tmp file.
+  std::ifstream tmp_left(dir_target + ".tmp");
+  EXPECT_FALSE(tmp_left.good());
+  std::remove(inner.c_str());
+  ASSERT_EQ(::rmdir(dir_target.c_str()), 0);
 }
 
 TEST(Serialize, FileRoundTrip) {
