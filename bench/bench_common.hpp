@@ -1,10 +1,15 @@
 #pragma once
 
-#include <chrono>
+#include <sys/resource.h>
+
+#include <cstdint>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "io/serialize.hpp"
+#include "obs/registry.hpp"
 #include "sim/batch_cli.hpp"
 #include "sim/trajectory.hpp"
 #include "util/cli.hpp"
@@ -17,26 +22,49 @@
 /// Carlo batch flags (`apply_batch_cli`). The JSON mode (`--json=<base>`)
 /// emits machine-readable result files for trajectory tracking
 /// (`BENCH_*.json`) alongside the human-readable tables — atomically, so
-/// an interrupted bench never leaves a torn baseline behind.
+/// an interrupted bench never leaves a torn baseline behind. Every JSON
+/// file additionally carries `peak_rss_bytes` and `total_wall_ms` so a
+/// perf regression in memory or startup shows up in the same artifact as
+/// the timing rows.
 
 namespace goc::bench {
 
+/// Wall-clock stopwatch on the obs time base (`obs::now_ns` — the same
+/// steady clock every span and latency histogram uses, so bench timings
+/// and registry histograms are directly comparable).
 class Stopwatch {
  public:
-  Stopwatch() : start_(clock::now()) {}
+  Stopwatch() : start_ns_(obs::now_ns()) {}
   double elapsed_ms() const {
-    return std::chrono::duration<double, std::milli>(clock::now() - start_)
-        .count();
+    return static_cast<double>(obs::now_ns() - start_ns_) / 1e6;
   }
-  void restart() { start_ = clock::now(); }
+  void restart() { start_ns_ = obs::now_ns(); }
 
  private:
-  using clock = std::chrono::steady_clock;
-  clock::time_point start_;
+  std::uint64_t start_ns_;
 };
 
-/// Prints the experiment banner.
+/// Peak resident set size of this process so far, in bytes (getrusage
+/// reports kilobytes on Linux). 0 when the kernel call fails.
+inline std::uint64_t peak_rss_bytes() {
+  ::rusage usage{};
+  if (::getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<std::uint64_t>(usage.ru_maxrss) * 1024;
+}
+
+namespace detail {
+/// Process-lifetime stopwatch backing `total_wall_ms`; started by the
+/// first `banner()` call (every bench banners before it works).
+inline Stopwatch& process_stopwatch() {
+  static Stopwatch watch;
+  return watch;
+}
+}  // namespace detail
+
+/// Prints the experiment banner (and starts the process-wide stopwatch
+/// that `emit` stamps into JSON as `total_wall_ms`).
 inline void banner(const std::string& experiment, const std::string& claim) {
+  detail::process_stopwatch();
   std::cout << "=== " << experiment << " ===\n" << claim << "\n\n";
 }
 
@@ -71,7 +99,12 @@ inline void emit(const Cli& cli, const Table& table, const std::string& title,
   detail::emit_as(cli, "csv", csv_suffix,
                   [&](const std::string& path) { table.save_csv(path); });
   detail::emit_as(cli, "json", csv_suffix, [&](const std::string& path) {
-    io::atomic_write_file(io::table_to_json(table, title), path);
+    const std::vector<std::pair<std::string, std::string>> extras = {
+        {"peak_rss_bytes", std::to_string(peak_rss_bytes())},
+        {"total_wall_ms",
+         std::to_string(detail::process_stopwatch().elapsed_ms())},
+    };
+    io::atomic_write_file(io::table_to_json(table, title, extras), path);
   });
 }
 

@@ -14,6 +14,8 @@
 #include "core/system.hpp"
 #include "engine/cancel.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 #include "util/int128.hpp"
 
@@ -315,10 +317,16 @@ auto run_shards(const ShardPlan& plan, const EnumerationOptions& opts,
   for (std::size_t i = 0; i < plan.sizes.size(); ++i) {
     states.push_back(make_state(i));
   }
+  static obs::Counter& kShardsWalked =
+      obs::Registry::instance().counter("enum.shards_walked");
+  static obs::Histogram& kShardWalkNs =
+      obs::Registry::instance().histogram("enum.shard_walk_ns");
   const auto run = [&](engine::ThreadPool& pool) {
     pool.parallel_for(plan.sizes.size(), [&](std::size_t i) {
       opts.cancel.throw_if_stale("enumeration cancelled");
+      obs::Span span(kShardWalkNs);
       walk_shard(states[i], i);
+      kShardsWalked.add();
     });
   };
   if (opts.pool != nullptr && lanes > 1) {

@@ -8,6 +8,8 @@
 #include "equilibrium/security.hpp"
 #include "equilibrium/welfare.hpp"
 #include "io/serialize.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 #include "util/rng.hpp"
 
@@ -308,7 +310,16 @@ SweepRecord SweepRunner::run_task(const SweepTask& task,
 }
 
 SweepResult SweepRunner::run(const SweepSpec& spec) const {
+  static obs::Counter& kSweeps =
+      obs::Registry::instance().counter("engine.sweep.sweeps");
+  static obs::Counter& kTasks =
+      obs::Registry::instance().counter("engine.sweep.tasks");
+  static obs::Histogram& kWallNs =
+      obs::Registry::instance().histogram("engine.sweep.wall_ns");
   const std::vector<SweepTask> tasks = spec.expand();
+  kSweeps.add();
+  kTasks.add(tasks.size());
+  obs::Span wall(kWallNs);
   std::optional<ThreadPool> owned;
   ThreadPool* pool = options_.pool;
   std::size_t lanes;

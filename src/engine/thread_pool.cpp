@@ -3,7 +3,37 @@
 #include <atomic>
 #include <exception>
 
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
+
 namespace goc::engine {
+
+namespace {
+
+/// Handles interned once per process; every hot-path record below is a
+/// single relaxed atomic add through these references.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Gauge& queue_depth;
+  obs::Histogram& task_wait_ns;
+  obs::Histogram& task_run_ns;
+  obs::Counter& parallel_for_calls;
+  obs::Counter& parallel_for_items;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::instance().counter("engine.pool.tasks"),
+        obs::Registry::instance().gauge("engine.pool.queue_depth"),
+        obs::Registry::instance().histogram("engine.pool.task_wait_ns"),
+        obs::Registry::instance().histogram("engine.pool.task_run_ns"),
+        obs::Registry::instance().counter("engine.pool.parallel_for_calls"),
+        obs::Registry::instance().counter("engine.pool.parallel_for_items"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   workers_.reserve(num_threads);
@@ -23,9 +53,31 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.tasks.add();
+  metrics.queue_depth.add(1);
+  Task task;
+  task.fn = std::move(fn);
+  task.enqueued_ns = obs::enabled() ? obs::now_ns() : 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  wake_.notify_one();
+}
+
+void ThreadPool::run_inline_task(const std::function<void()>& fn) {
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.tasks.add();
+  obs::Span run(metrics.task_run_ns);
+  fn();
+}
+
 void ThreadPool::worker_loop() {
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -33,13 +85,21 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    metrics.queue_depth.sub(1);
+    if (task.enqueued_ns != 0) {
+      metrics.task_wait_ns.record(obs::now_ns() - task.enqueued_ns);
+    }
+    obs::Span run(metrics.task_run_ns);
+    task.fn();
   }
 }
 
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.parallel_for_calls.add();
+  metrics.parallel_for_items.add(count);
   if (workers_.empty()) {
     for (std::size_t i = 0; i < count; ++i) fn(i);
     return;

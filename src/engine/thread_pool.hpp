@@ -2,6 +2,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
@@ -50,14 +51,10 @@ class ThreadPool {
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
     if (workers_.empty()) {
-      (*task)();
-      return future;
+      run_inline_task([task] { (*task)(); });
+    } else {
+      enqueue([task] { (*task)(); });
     }
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.emplace_back([task] { (*task)(); });
-    }
-    wake_.notify_one();
     return future;
   }
 
@@ -97,10 +94,21 @@ class ThreadPool {
   }
 
  private:
+  /// One queued unit of work plus its enqueue stamp (0 when obs is off),
+  /// so the worker that dequeues it can record queue-wait latency.
+  struct Task {
+    std::function<void()> fn;
+    std::uint64_t enqueued_ns = 0;
+  };
+
   void worker_loop();
+  /// Out-of-line halves of `submit` — the template above stays free of
+  /// metrics includes while these record task counts and latencies.
+  void enqueue(std::function<void()> fn);
+  void run_inline_task(const std::function<void()>& fn);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   std::mutex mutex_;
   std::condition_variable wake_;
   bool stopping_ = false;

@@ -300,6 +300,12 @@ std::string json_escape(const std::string& text) {
 }
 
 std::string table_to_json(const Table& table, const std::string& title) {
+  return table_to_json(table, title, {});
+}
+
+std::string table_to_json(
+    const Table& table, const std::string& title,
+    const std::vector<std::pair<std::string, std::string>>& extras) {
   std::ostringstream os;
   os << "{\n  \"title\": \"" << json_escape(title) << "\",\n  \"headers\": [";
   const auto& headers = table.headers();
@@ -315,7 +321,11 @@ std::string table_to_json(const Table& table, const std::string& title) {
     }
     os << "]" << (r + 1 < rows.size() ? "," : "") << "\n";
   }
-  os << "  ]\n}\n";
+  os << "  ]";
+  for (const auto& [key, value] : extras) {
+    os << ",\n  \"" << json_escape(key) << "\": " << value;
+  }
+  os << "\n}\n";
   return os.str();
 }
 

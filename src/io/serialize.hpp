@@ -2,6 +2,8 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/configuration.hpp"
 #include "core/game.hpp"
@@ -72,6 +74,14 @@ std::string json_escape(const std::string& text);
 /// Renders a table as `{"title": ..., "headers": [...], "rows": [[...]]}`.
 /// Cells are emitted as JSON strings (tables are already formatted text).
 std::string table_to_json(const Table& table, const std::string& title);
+
+/// Same document plus trailing top-level members: each (key, value) pair
+/// appends `"key": value`, where `value` is spliced in verbatim as raw
+/// JSON (the caller quotes strings; numbers go in bare). The benches use
+/// this to stamp peak RSS and total wall time into every `--json` file.
+std::string table_to_json(
+    const Table& table, const std::string& title,
+    const std::vector<std::pair<std::string, std::string>>& extras);
 
 /// Writes `content` to `path`; throws std::runtime_error on I/O failure.
 void write_text_file(const std::string& content, const std::string& path);

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+/// \file stats_log.hpp
+/// Periodic JSONL emission of registry snapshots.
+///
+/// `goc-serve --stats-log=PATH` runs one `StatsLogger`: a background
+/// thread that appends a compact one-line JSON snapshot of the process
+/// registry to PATH every `interval_ms`, plus one final line at shutdown.
+/// Lines follow the `io::atomic_write_file` spirit scaled to a log: each
+/// record is written with a single `write` and flushed before the thread
+/// sleeps again, so a crash can tear at most the line in flight — every
+/// prior line is complete and parseable. (Rewriting the whole file
+/// atomically per tick would be quadratic in uptime; an append-only log
+/// with line-granular integrity is the right trade.)
+///
+/// Each line carries the snapshot plus `t_ms` (milliseconds since the
+/// logger started — monotonic, so deltas between lines are meaningful
+/// even across clock adjustments) and a monotone `seq`.
+
+namespace goc::obs {
+
+class StatsLogger {
+ public:
+  struct Options {
+    std::string path;
+    std::uint64_t interval_ms = 1000;
+  };
+
+  /// Opens `path` for append and starts the emitter thread. Throws
+  /// std::runtime_error when the file cannot be opened.
+  explicit StatsLogger(Options options);
+
+  /// Stops the thread after a final snapshot line. Idempotent.
+  ~StatsLogger();
+
+  StatsLogger(const StatsLogger&) = delete;
+  StatsLogger& operator=(const StatsLogger&) = delete;
+
+  /// Stops the emitter (final line included) without destroying the
+  /// object; later calls are no-ops.
+  void stop();
+
+  /// Lines written so far (including the shutdown line once stopped).
+  std::uint64_t lines_written() const noexcept;
+
+ private:
+  void loop();
+  void write_line();
+
+  Options options_;
+  std::uint64_t start_ns_ = 0;
+  std::uint64_t lines_ = 0;
+  int fd_ = -1;
+  mutable std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread thread_;
+};
+
+}  // namespace goc::obs

@@ -3,9 +3,41 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/registry.hpp"
 #include "util/assert.hpp"
 
 namespace goc::serve {
+
+namespace {
+
+struct ServeMetrics {
+  obs::Counter& submitted;
+  obs::Counter& done;
+  obs::Counter& failed;
+  obs::Counter& cancelled;
+  obs::Gauge& queued;
+  obs::Gauge& running;
+  obs::Histogram& queue_wait_ns;
+  obs::Histogram& run_ns;
+  obs::Histogram& cancel_ns;
+
+  static ServeMetrics& get() {
+    static ServeMetrics m{
+        obs::Registry::instance().counter("serve.jobs.submitted"),
+        obs::Registry::instance().counter("serve.jobs.done"),
+        obs::Registry::instance().counter("serve.jobs.failed"),
+        obs::Registry::instance().counter("serve.jobs.cancelled"),
+        obs::Registry::instance().gauge("serve.jobs.queued"),
+        obs::Registry::instance().gauge("serve.jobs.running"),
+        obs::Registry::instance().histogram("serve.job.queue_wait_ns"),
+        obs::Registry::instance().histogram("serve.job.run_ns"),
+        obs::Registry::instance().histogram("serve.job.cancel_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* job_state_name(JobState state) noexcept {
   switch (state) {
@@ -34,10 +66,17 @@ JobStatus JobTable::snapshot_locked(const Job& job) const {
   status.kind = job.kind;
   status.state = job.state;
   status.detail = job.detail;
+  status.progress = job.progress;
+  if (job.started_ns != 0) {
+    const std::uint64_t until =
+        job.finished_ns != 0 ? job.finished_ns : obs::now_ns();
+    status.elapsed_ms = (until - job.started_ns) / 1000000;
+  }
   return status;
 }
 
 void JobTable::run_driver(const std::shared_ptr<Job>& job, const Work& work) {
+  ServeMetrics& metrics = ServeMetrics::get();
   const engine::CancelView view = engine::CancelView::of(job->token);
   // A cancel (or shutdown) that lands before the snapshot above has
   // already bumped the token, so the view reads *fresh* and would never
@@ -54,18 +93,28 @@ void JobTable::run_driver(const std::shared_ptr<Job>& job, const Work& work) {
       cancelled_before_start = true;
     } else {
       job->state = JobState::kRunning;
+      job->started_ns = obs::now_ns();
+      metrics.queue_wait_ns.record(job->started_ns - job->submitted_ns);
+      metrics.queued.sub(1);
+      metrics.running.add(1);
     }
   }
   if (cancelled_before_start) {
     done_cv_.notify_all();
     return;
   }
+  // Progress lands on the driver thread; the fold into the job is a short
+  // critical section on the table mutex (status readers copy it out).
+  const ProgressFn on_progress = [this, &job](const JobProgress& progress) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job->progress = progress;
+  };
   JobOutcome outcome;
   JobState final_state = JobState::kDone;
   std::string detail;
   try {
     view.throw_if_stale("job cancelled before start");
-    outcome = work(view);
+    outcome = work(view, on_progress);
   } catch (const engine::Cancelled&) {
     final_state = JobState::kCancelled;
   } catch (const std::exception& error) {
@@ -74,6 +123,9 @@ void JobTable::run_driver(const std::shared_ptr<Job>& job, const Work& work) {
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    job->finished_ns = obs::now_ns();
+    metrics.run_ns.record(job->finished_ns - job->started_ns);
+    metrics.running.sub(1);
     // A cancel() that won the race keeps the job cancelled even when the
     // work raced to completion — the client was already told "cancelled",
     // and handing out a result it asked to abandon would be a lie.
@@ -81,6 +133,14 @@ void JobTable::run_driver(const std::shared_ptr<Job>& job, const Work& work) {
       job->state = final_state;
       job->detail = std::move(detail);
       if (final_state == JobState::kDone) job->outcome = std::move(outcome);
+      (final_state == JobState::kDone     ? metrics.done
+       : final_state == JobState::kFailed ? metrics.failed
+                                          : metrics.cancelled)
+          .add();
+    }
+    // Cancel latency = cancel request → work actually unwound.
+    if (job->cancel_requested_ns != 0) {
+      metrics.cancel_ns.record(job->finished_ns - job->cancel_requested_ns);
     }
     job->driver_done = true;
   }
@@ -91,6 +151,10 @@ std::uint64_t JobTable::submit(std::string kind, Work work) {
   GOC_CHECK_ARG(work != nullptr, "JobTable::submit requires a work closure");
   auto job = std::make_shared<Job>();
   job->kind = std::move(kind);
+  job->submitted_ns = obs::now_ns();
+  ServeMetrics& metrics = ServeMetrics::get();
+  metrics.submitted.add();
+  metrics.queued.add(1);
   std::lock_guard<std::mutex> lock(mutex_);
   job->id = next_id_++;
   // The driver is a dedicated thread, never a pool lane: the work fans
@@ -122,13 +186,20 @@ std::vector<JobStatus> JobTable::list() const {
 }
 
 bool JobTable::cancel(std::uint64_t id) {
+  ServeMetrics& metrics = ServeMetrics::get();
   std::shared_ptr<Job> job;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = jobs_.find(id);
     if (it == jobs_.end()) return false;
     if (job_state_terminal(it->second->state)) return false;
+    // A queued job never reaches the driver's gauge transitions, so its
+    // queued slot is released here; a running one stays on the `running`
+    // gauge until its driver actually unwinds.
+    if (it->second->state == JobState::kQueued) metrics.queued.sub(1);
     it->second->state = JobState::kCancelled;
+    it->second->cancel_requested_ns = obs::now_ns();
+    metrics.cancelled.add();
     job = it->second;
   }
   // Invalidate outside the lock: the engines poll the token lock-free,
@@ -167,11 +238,17 @@ std::size_t JobTable::size() const {
 }
 
 void JobTable::shutdown() {
+  ServeMetrics& metrics = ServeMetrics::get();
   std::vector<std::shared_ptr<Job>> jobs;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [_, job] : jobs_) {
-      if (!job_state_terminal(job->state)) job->state = JobState::kCancelled;
+      if (!job_state_terminal(job->state)) {
+        if (job->state == JobState::kQueued) metrics.queued.sub(1);
+        job->state = JobState::kCancelled;
+        job->cancel_requested_ns = obs::now_ns();
+        metrics.cancelled.add();
+      }
       jobs.push_back(job);
     }
     jobs_.clear();

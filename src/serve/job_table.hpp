@@ -55,6 +55,17 @@ struct JobOutcome {
   std::string summary;
 };
 
+/// Live progress a job's work reports through its `ProgressFn` (for a
+/// batch job these are `sim::BatchProgress` wave boundaries). `total == 0`
+/// means the work has not reported yet.
+struct JobProgress {
+  std::uint64_t done = 0;
+  std::uint64_t total = 0;
+  /// CI half-width of the stopping metric at the last report (0 when the
+  /// job has no adaptive stopping).
+  double ci_halfwidth = 0.0;
+};
+
 /// A point-in-time snapshot of one job's lifecycle.
 struct JobStatus {
   std::uint64_t id = 0;
@@ -62,6 +73,10 @@ struct JobStatus {
   JobState state = JobState::kQueued;
   /// Failure detail (`what()` of the escaped exception) for kFailed.
   std::string detail;
+  /// Last progress report (zeros until the work reports).
+  JobProgress progress;
+  /// Milliseconds the work has been (or was) running; 0 while queued.
+  std::uint64_t elapsed_ms = 0;
 };
 
 /// Thread-safe job registry: submit / status / list / cancel / fetch.
@@ -69,10 +84,16 @@ struct JobStatus {
 /// stdin loop may share one table).
 class JobTable {
  public:
+  /// Sink the work calls (from its own driver thread) whenever it has a
+  /// fresh progress report; the table folds it into the job's status.
+  using ProgressFn = std::function<void(const JobProgress&)>;
+
   /// Job body: runs on the driver thread, polls `cancel` cooperatively,
+  /// reports progress through `progress` (calling it is optional), and
   /// returns the outcome. Throwing `engine::Cancelled` marks the job
   /// cancelled; any other exception marks it failed with `what()`.
-  using Work = std::function<JobOutcome(const engine::CancelView& cancel)>;
+  using Work = std::function<JobOutcome(const engine::CancelView& cancel,
+                                        const ProgressFn& progress)>;
 
   JobTable() = default;
   ~JobTable() { shutdown(); }
@@ -125,11 +146,18 @@ class JobTable {
     JobState state = JobState::kQueued;
     std::string detail;
     JobOutcome outcome;
+    JobProgress progress;
     engine::CancelToken token;
     std::thread driver;
     /// Set (under the table mutex) as the driver's last action; `fetch`
     /// may only join once this is true.
     bool driver_done = false;
+    /// Lifecycle stamps (obs::now_ns time base; 0 = not reached). These
+    /// feed `elapsed_ms` and the serve latency histograms.
+    std::uint64_t submitted_ns = 0;
+    std::uint64_t started_ns = 0;
+    std::uint64_t cancel_requested_ns = 0;
+    std::uint64_t finished_ns = 0;
   };
 
   JobStatus snapshot_locked(const Job& job) const;

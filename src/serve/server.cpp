@@ -1,16 +1,19 @@
 #include "serve/server.hpp"
 
+#include <chrono>
 #include <exception>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "core/generators.hpp"
 #include "engine/sweep.hpp"
 #include "equilibrium/enumerate.hpp"
 #include "io/serialize.hpp"
+#include "obs/registry.hpp"
 #include "market/scenario.hpp"
 #include "serve/request.hpp"
 #include "sim/batch_cli.hpp"
@@ -51,6 +54,33 @@ sim::EngineKind engine_from_cli(const Cli& cli) {
   throw std::invalid_argument("unknown engine '" + name + "' (flat, legacy)");
 }
 
+/// The shared progress vocabulary of `status` and `watch` — both render
+/// the same fields from the same `JobStatus` snapshot, so a client parser
+/// written against one reads the other.
+void write_progress_fields(std::ostream& out, const JobStatus& status) {
+  out << " progress=" << status.progress.done << "/" << status.progress.total
+      << " ci=" << status.progress.ci_halfwidth
+      << " elapsed_ms=" << status.elapsed_ms;
+}
+
+/// Adapts a batch's wave-boundary `sim::BatchProgress` reports into the
+/// job table's progress slot.
+sim::TrajectoryBatchOptions with_progress(sim::TrajectoryBatchOptions options,
+                                          const engine::CancelView& cancel,
+                                          const JobTable::ProgressFn& report) {
+  options.cancel = cancel;
+  if (report) {
+    options.on_progress = [report](const sim::BatchProgress& progress) {
+      JobProgress job_progress;
+      job_progress.done = progress.completed;
+      job_progress.total = progress.requested;
+      job_progress.ci_halfwidth = progress.ci_halfwidth;
+      report(job_progress);
+    };
+  }
+  return options;
+}
+
 JobOutcome batch_outcome(const sim::TrajectoryBatchResult& result,
                          const std::string& title) {
   JobOutcome outcome;
@@ -86,9 +116,10 @@ JobTable::Work Server::make_batch_work(const Cli& cli) {
     params.days = cli.get_double("days", params.days);
     params.epoch_lanes = sim::epoch_lanes_from_cli(cli, params.epoch_lanes);
     const sim::EngineKind engine = engine_from_cli(cli);
-    return [options, params, engine](const engine::CancelView& cancel) {
-      sim::TrajectoryBatchOptions opts = options;
-      opts.cancel = cancel;
+    return [options, params, engine](const engine::CancelView& cancel,
+                                     const JobTable::ProgressFn& progress) {
+      const sim::TrajectoryBatchOptions opts =
+          with_progress(options, cancel, progress);
       const auto factory = [&](std::uint64_t seed) {
         return sim::make_reference_chain(params, engine, seed);
       };
@@ -105,9 +136,10 @@ JobTable::Work Server::make_batch_work(const Cli& cli) {
     // JobTable::Work must be copyable — rebuild the prototype inside the
     // job from its deterministic parameters instead of capturing it.
     return [options, miners, coins, days, seed](
-               const engine::CancelView& cancel) {
-      sim::TrajectoryBatchOptions opts = options;
-      opts.cancel = cancel;
+               const engine::CancelView& cancel,
+               const JobTable::ProgressFn& progress) {
+      const sim::TrajectoryBatchOptions opts =
+          with_progress(options, cancel, progress);
       const market::Scenario proto =
           market::random_market_prototype(miners, coins, days, seed);
       return batch_outcome(sim::run_market_batch(proto, opts),
@@ -119,9 +151,10 @@ JobTable::Work Server::make_batch_work(const Cli& cli) {
     params.miners = cli.get_u64("miners", params.miners);
     params.days = cli.get_double("days", params.days);
     params.seed = cli.get_u64("seed", params.seed);
-    return [options, params](const engine::CancelView& cancel) {
-      sim::TrajectoryBatchOptions opts = options;
-      opts.cancel = cancel;
+    return [options, params](const engine::CancelView& cancel,
+                             const JobTable::ProgressFn& progress) {
+      const sim::TrajectoryBatchOptions opts =
+          with_progress(options, cancel, progress);
       const market::Scenario proto = market::fork_flip_prototype(params);
       return batch_outcome(sim::run_market_batch(proto, opts),
                            "goc-serve batch market-fork");
@@ -171,7 +204,8 @@ JobTable::Work Server::make_sweep_work(const Cli& cli) {
   spec.learning.max_steps =
       cli.get_u64("max-steps", spec.learning.max_steps);
 
-  return [this, spec](const engine::CancelView& cancel) {
+  return [this, spec](const engine::CancelView& cancel,
+                      const JobTable::ProgressFn&) {
     engine::SweepRunner::Options options;
     options.pool = &pool_;
     options.cancel = cancel;
@@ -217,7 +251,8 @@ JobTable::Work Server::make_enumerate_work(const Cli& cli) {
   options.max_configs = cli.get_u64("max-configs", options.max_configs);
   options.symmetry = cli.get_bool("symmetry", options.symmetry);
 
-  return [spec, seed, options](const engine::CancelView& cancel) {
+  return [spec, seed, options](const engine::CancelView& cancel,
+                               const JobTable::ProgressFn&) {
     EnumerationOptions opts = options;
     opts.cancel = cancel;
     Rng rng(seed);
@@ -275,8 +310,79 @@ void Server::cmd_status(const std::vector<std::string>& args,
   }
   out << "ok id=" << status->id << " kind=" << status->kind
       << " state=" << job_state_name(status->state);
+  write_progress_fields(out, *status);
   if (!status->detail.empty()) out << " detail=" << status->detail;
   out << "\n";
+}
+
+void Server::cmd_watch(const std::vector<std::string>& args,
+                       std::ostream& out) {
+  const std::uint64_t id = parse_job_id(args, "watch");
+  const Cli cli = cli_from_tokens(
+      "goc-serve:watch",
+      std::vector<std::string>(args.begin() + 1, args.end()));
+  reject_unknown(cli, {"interval-ms"});
+  const std::uint64_t interval_ms = cli.get_u64("interval-ms", 50);
+
+  const auto write_row = [&out](const JobStatus& status) {
+    out << "progress id=" << status.id
+        << " state=" << job_state_name(status.state);
+    write_progress_fields(out, status);
+    // Linear-extrapolation ETA from the completed fraction; only once a
+    // wave has landed (done > 0), so the row never divides by zero.
+    if (status.progress.done > 0 &&
+        status.progress.total >= status.progress.done) {
+      out << " eta_ms="
+          << status.elapsed_ms *
+                 (status.progress.total - status.progress.done) /
+                 status.progress.done;
+    }
+    out << "\n";
+    out.flush();  // rows must stream, not buffer until the ok line
+  };
+
+  auto status = jobs_.status(id);
+  if (!status) {
+    out << "err unknown job " << id << "\n";
+    return;
+  }
+  // One row immediately, one per observed progress change, one terminal —
+  // a watcher always sees at least two rows with monotone `done`.
+  std::uint64_t rows = 0;
+  std::uint64_t last_done = status->progress.done;
+  write_row(*status);
+  ++rows;
+  while (!job_state_terminal(status->state)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const auto next = jobs_.status(id);
+    if (!next) break;  // fetched out from under the watch
+    status = next;
+    if (!job_state_terminal(status->state) &&
+        status->progress.done != last_done) {
+      last_done = status->progress.done;
+      write_row(*status);
+      ++rows;
+    }
+  }
+  write_row(*status);
+  ++rows;
+  out << "ok id=" << id << " rows=" << rows
+      << " state=" << job_state_name(status->state) << "\n";
+}
+
+void Server::cmd_stats(const std::vector<std::string>& args,
+                       std::ostream& out) {
+  const Cli cli = cli_from_tokens("goc-serve:stats", args);
+  reject_unknown(cli, {"json"});
+  const obs::Snapshot snapshot = obs::Registry::instance().snapshot();
+  if (cli.get_bool("json", false)) {
+    out << snapshot.to_json(/*compact=*/true) << "\n";
+  } else {
+    out << snapshot.to_prometheus();
+  }
+  out << "ok stats counters=" << snapshot.counters.size()
+      << " gauges=" << snapshot.gauges.size()
+      << " histograms=" << snapshot.histograms.size() << "\n";
 }
 
 void Server::cmd_result(const std::vector<std::string>& args,
@@ -344,6 +450,9 @@ void Server::cmd_jobs(std::ostream& out) {
 void Server::cmd_help(std::ostream& out) {
   out << "# submit batch|sweep|enumerate [--flags...]  (bare kind works too)\n"
       << "# status <id> | result <id> [--wait] | cancel <id> | jobs\n"
+      << "# watch <id> [--interval-ms=N]  streams progress rows until done\n"
+      << "# stats [--json]  process metrics (Prometheus text or one JSON "
+         "line)\n"
       << "# batch: --scenario=chain-reference|market-random|market-fork\n"
       << "#        --miners --chains --coins --days --epoch-lanes --engine\n"
       << "#        --seed --replicas --stop-* --checkpoint[-interval]\n"
@@ -385,6 +494,10 @@ bool Server::handle_line(const std::string& line, std::ostream& out) {
       cmd_cancel(args, out);
     } else if (verb == "jobs") {
       cmd_jobs(out);
+    } else if (verb == "watch") {
+      cmd_watch(args, out);
+    } else if (verb == "stats") {
+      cmd_stats(args, out);
     } else {
       out << "err unknown command '" << verb << "' (try help)\n";
     }

@@ -20,9 +20,12 @@
 /// submit batch|sweep|enumerate [--flags...]   -> ok id=N kind=...
 /// batch|sweep|enumerate [--flags...]          (submit shorthand)
 /// status <id>                                 -> ok id=N kind=... state=...
+///                                                progress=done/total ...
 /// jobs                                        -> job ... lines, ok jobs=N
 /// result <id> [--wait]                        -> JSON payload, then ok ...
 /// cancel <id>                                 -> ok id=N state=cancelled
+/// watch <id> [--interval-ms=N]                -> progress ... rows, ok ...
+/// stats [--json]                              -> metrics payload, ok stats
 /// ping | help | quit
 /// ```
 ///
@@ -72,6 +75,8 @@ class Server {
   void cmd_result(const std::vector<std::string>& args, std::ostream& out);
   void cmd_cancel(const std::vector<std::string>& args, std::ostream& out);
   void cmd_jobs(std::ostream& out);
+  void cmd_watch(const std::vector<std::string>& args, std::ostream& out);
+  void cmd_stats(const std::vector<std::string>& args, std::ostream& out);
   void cmd_help(std::ostream& out);
 
   JobTable::Work make_batch_work(const Cli& cli);

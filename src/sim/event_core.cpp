@@ -1,6 +1,39 @@
 #include "sim/event_core.hpp"
 
+#include "obs/registry.hpp"
+
 namespace goc::sim {
+
+namespace {
+
+/// Per-event-type dispatch/invalidation counters, interned once. This is
+/// THE hottest seam in the repo (one `pop` per simulated event), so the
+/// cost budget is exactly one relaxed add per live pop and one per stale
+/// drop — handle lookup happens only at static init.
+struct EventMetrics {
+  std::array<obs::Counter*, kNumEventTypes> dispatched;
+  std::array<obs::Counter*, kNumEventTypes> invalidated;
+  obs::Counter& stale_dropped;
+
+  static EventMetrics& get() {
+    static EventMetrics m = [] {
+      auto& reg = obs::Registry::instance();
+      static constexpr const char* kTypeNames[kNumEventTypes] = {
+          "block_found", "decision_epoch", "price_tick", "fee_update"};
+      EventMetrics out{{}, {}, reg.counter("sim.events.stale_dropped")};
+      for (std::size_t t = 0; t < kNumEventTypes; ++t) {
+        out.dispatched[t] = &reg.counter(std::string("sim.events.dispatched.") +
+                                         kTypeNames[t]);
+        out.invalidated[t] = &reg.counter(
+            std::string("sim.events.invalidated.") + kTypeNames[t]);
+      }
+      return out;
+    }();
+    return m;
+  }
+};
+
+}  // namespace
 
 void EventCore::declare_streams(EventType type, std::size_t count) {
   auto& gens = generations_[static_cast<std::size_t>(type)];
@@ -19,12 +52,18 @@ void EventCore::invalidate(EventType type, std::uint32_t subject) {
   auto& gens = generations_[static_cast<std::size_t>(type)];
   GOC_CHECK_ARG(subject < gens.size(), "undeclared event stream");
   ++gens[subject];
+  EventMetrics::get().invalidated[static_cast<std::size_t>(type)]->add();
 }
 
 bool EventCore::pop(Event& out) {
+  EventMetrics& metrics = EventMetrics::get();
   while (pop_raw(out)) {
-    if (is_stale(out)) continue;
+    if (is_stale(out)) {
+      metrics.stale_dropped.add();
+      continue;
+    }
     now_ = out.time;
+    metrics.dispatched[static_cast<std::size_t>(out.type)]->add();
     return true;
   }
   return false;
@@ -32,10 +71,15 @@ bool EventCore::pop(Event& out) {
 
 bool EventCore::pop_until(Event& out, double t_end) {
   GOC_CHECK_ARG(t_end >= now_, "cannot run backwards");
+  EventMetrics& metrics = EventMetrics::get();
   while (!heap_.empty() && heap_.front().time <= t_end) {
     pop_raw(out);
-    if (is_stale(out)) continue;  // dropped inside the window
+    if (is_stale(out)) {
+      metrics.stale_dropped.add();
+      continue;  // dropped inside the window
+    }
     now_ = out.time;
+    metrics.dispatched[static_cast<std::size_t>(out.type)]->add();
     return true;
   }
   now_ = t_end;

@@ -6,10 +6,37 @@
 
 #include "engine/sweep.hpp"
 #include "engine/thread_pool.hpp"
+#include "obs/registry.hpp"
+#include "obs/span.hpp"
 #include "util/assert.hpp"
 #include "util/fnv.hpp"
 
 namespace goc::sim {
+
+namespace {
+
+struct BatchMetrics {
+  obs::Counter& batches;
+  obs::Counter& replicas_run;
+  obs::Counter& replicas_saved;
+  obs::Histogram& wave_ns;
+  obs::Histogram& checkpoint_write_ns;
+  obs::Histogram& wall_ns;
+
+  static BatchMetrics& get() {
+    static BatchMetrics m{
+        obs::Registry::instance().counter("sim.batch.batches"),
+        obs::Registry::instance().counter("sim.batch.replicas_run"),
+        obs::Registry::instance().counter("sim.batch.replicas_saved"),
+        obs::Registry::instance().histogram("sim.batch.wave_ns"),
+        obs::Registry::instance().histogram("sim.batch.checkpoint_write_ns"),
+        obs::Registry::instance().histogram("sim.batch.wall_ns"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
 
 const char* stop_reason_name(StopReason reason) noexcept {
   switch (reason) {
@@ -168,6 +195,24 @@ TrajectoryBatchResult run_trajectory_batch(
     GOC_CHECK_ARG(!ckpt->path.empty(), "checkpointing needs a path");
     GOC_CHECK_ARG(ckpt->interval >= 1, "checkpoint interval must be >= 1");
   }
+  if (options.on_progress) {
+    GOC_CHECK_ARG(options.progress_interval >= 1,
+                  "progress reporting needs an interval of >= 1 replicas");
+  }
+
+  BatchMetrics& metrics_obs = BatchMetrics::get();
+  metrics_obs.batches.add();
+  obs::Span wall(metrics_obs.wall_ns);
+
+  const auto report = [&](std::size_t done, double ci) {
+    if (options.on_progress) {
+      BatchProgress progress;
+      progress.completed = done;
+      progress.requested = requested;
+      progress.ci_halfwidth = ci;
+      options.on_progress(progress);
+    }
+  };
 
   // Slot writes into a pre-sized matrix: replica r's value row depends only
   // on (root_seed, r), never on scheduling.
@@ -215,6 +260,7 @@ TrajectoryBatchResult run_trajectory_batch(
     cp.completed = done;
     cp.values.assign(values.begin(),
                      values.begin() + static_cast<std::ptrdiff_t>(done * metrics));
+    obs::Span span(metrics_obs.checkpoint_write_ns);
     cp.save(ckpt->path);
     if (ckpt->on_write) ckpt->on_write(done);
   };
@@ -224,6 +270,8 @@ TrajectoryBatchResult run_trajectory_batch(
   // of replica work plus whatever is already in flight.
   const auto run_range = [&](engine::ThreadPool& pool, std::size_t begin,
                              std::size_t end) {
+    obs::Span span(metrics_obs.wave_ns);
+    metrics_obs.replicas_run.add(end - begin);
     pool.parallel_for(end - begin, [&](std::size_t k) {
       options.cancel.throw_if_stale("trajectory batch cancelled");
       const std::size_t r = begin + k;
@@ -249,18 +297,24 @@ TrajectoryBatchResult run_trajectory_batch(
   std::size_t run_count = 0;
   StopReason reason = StopReason::kFixedReplicas;
   if (!options.stopping.has_value()) {
-    if (ckpt == nullptr) {
+    if (ckpt == nullptr && !options.on_progress) {
       run_range(*pool, 0, requested);
     } else {
       // Interval chunks aligned to multiples of `interval` regardless of
       // where a salvaged prefix landed, so the persisted boundaries are
-      // the same whether or not the batch was ever interrupted.
+      // the same whether or not the batch was ever interrupted. Progress
+      // reporting reuses the same chunking (checkpoint interval when both
+      // are on — one wave, two observers); slot writes keep the value
+      // matrix bit-identical however the range is carved up.
+      const std::size_t interval =
+          ckpt != nullptr ? ckpt->interval : options.progress_interval;
       while (completed < requested) {
-        const std::size_t next = std::min(
-            requested, ((completed / ckpt->interval) + 1) * ckpt->interval);
+        const std::size_t next =
+            std::min(requested, ((completed / interval) + 1) * interval);
         run_range(*pool, completed, next);
         completed = next;
-        write_checkpoint(completed);
+        if (ckpt != nullptr) write_checkpoint(completed);
+        report(completed, 0.0);
       }
     }
     run_count = requested;
@@ -299,12 +353,14 @@ TrajectoryBatchResult run_trajectory_batch(
                         std::sqrt(static_cast<double>(run_count));
       const double bound =
           rule.relative ? rule.tolerance * std::abs(mean) : rule.tolerance;
+      report(run_count, ci);
       if (ci <= bound) {
         reason = StopReason::kToleranceMet;
         break;
       }
     }
     values.resize(run_count * metrics);
+    metrics_obs.replicas_saved.add(requested - run_count);
   }
   return TrajectoryBatchResult(std::move(metric_names), run_count,
                                std::move(values), options.root_seed, requested,

@@ -76,6 +76,19 @@ enum class StopReason {
 /// Stable display name ("fixed" / "tolerance" / "max-replicas").
 const char* stop_reason_name(StopReason reason) noexcept;
 
+/// One wave-boundary progress report (see
+/// `TrajectoryBatchOptions::on_progress`).
+struct BatchProgress {
+  /// Replicas finished so far (monotone across reports).
+  std::size_t completed = 0;
+  /// Ceiling the batch may run (fixed R, or the rule's max_replicas).
+  std::size_t requested = 0;
+  /// 95% CI half-width of the stopping metric over the completed prefix —
+  /// the number the adaptive rule compares against its tolerance. 0 for
+  /// fixed-R batches (no stopping metric) and before two replicas exist.
+  double ci_halfwidth = 0.0;
+};
+
 struct TrajectoryBatchOptions {
   /// Fixed replica count when no stopping rule is set; ignored (the rule's
   /// min/max govern) when `stopping` is engaged. Must be >= 1.
@@ -108,6 +121,17 @@ struct TrajectoryBatchOptions {
   /// `engine::Cancelled` instead of returning a torn result. The default
   /// (no token) never cancels — existing callers are unaffected.
   engine::CancelView cancel;
+  /// Wave-boundary progress reports (the serve daemon's `watch` rows).
+  /// Called on the batch's calling thread after each wave completes —
+  /// strictly observational: reports never influence seeds, wave
+  /// boundaries, or the stop decision. Default: no reports.
+  std::function<void(const BatchProgress&)> on_progress;
+  /// Fixed-R batches have no natural wave; when `on_progress` is set they
+  /// chunk into ranges of this many replicas purely to have reporting
+  /// boundaries (slot writes make results bit-identical under any
+  /// chunking). Adaptive batches report at their own wave boundaries and
+  /// ignore this. Must be >= 1 when a callback is set.
+  std::size_t progress_interval = 16;
 };
 
 /// Splits one shared pool's lanes between the two parallelism levels of a

@@ -1,10 +1,30 @@
 #include "util/log.hpp"
 
+#include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
 
 namespace goc {
 namespace {
-LogLevel g_level = LogLevel::Warn;
+
+LogLevel level_from_env() noexcept {
+  const char* env = std::getenv("GOC_LOG_LEVEL");
+  if (env == nullptr || env[0] == '\0') return LogLevel::Warn;
+  try {
+    return log_level_from_name(env);
+  } catch (const std::exception&) {
+    // A typo in the environment must not abort static init; fall back to
+    // the default and let the first Warn-level message flow as usual.
+    return LogLevel::Warn;
+  }
+}
+
+std::atomic<LogLevel>& level_store() noexcept {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
 
 const char* tag(LogLevel level) noexcept {
   switch (level) {
@@ -16,13 +36,35 @@ const char* tag(LogLevel level) noexcept {
   }
   return "?????";
 }
+
 }  // namespace
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+void set_log_level(LogLevel level) noexcept {
+  level_store().store(level, std::memory_order_relaxed);
+}
+
+LogLevel log_level() noexcept {
+  return level_store().load(std::memory_order_relaxed);
+}
+
+LogLevel log_level_from_name(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::Debug;
+  if (lower == "info") return LogLevel::Info;
+  if (lower == "warn" || lower == "warning") return LogLevel::Warn;
+  if (lower == "error") return LogLevel::Error;
+  if (lower == "off") return LogLevel::Off;
+  throw std::invalid_argument("unknown log level '" + name +
+                              "' (debug, info, warn, error, off)");
+}
 
 void log_message(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (static_cast<int>(level) < static_cast<int>(log_level())) return;
   std::fprintf(stderr, "[goc %s] %s\n", tag(level), message.c_str());
 }
 

@@ -4,9 +4,13 @@
 #include <string>
 
 /// \file log.hpp
-/// Leveled logging to stderr. Single-threaded by design (the library is a
-/// simulator, not a server); the default level is Warn so library code can
-/// narrate without polluting benchmark tables.
+/// Leveled logging to stderr. The default level is Warn so library code
+/// can narrate without polluting benchmark tables; the `GOC_LOG_LEVEL`
+/// environment variable (debug/info/warn/error/off) presets it, and the
+/// daemons' `--verbose` flag lowers it to Debug. The threshold is a
+/// relaxed atomic, so the serve daemon's driver threads may log
+/// concurrently with a client thread adjusting the level; each message is
+/// a single `fprintf`, so lines never interleave mid-line.
 
 namespace goc {
 
@@ -14,6 +18,11 @@ enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
+
+/// Parses a level name ("debug", "info", "warn", "error", "off" —
+/// case-insensitive, "warning" accepted). Throws std::invalid_argument on
+/// anything else.
+LogLevel log_level_from_name(const std::string& name);
 
 /// Emits `message` with a level tag if `level` passes the global threshold.
 void log_message(LogLevel level, const std::string& message);

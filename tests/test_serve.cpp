@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "engine/cancel.hpp"
+#include "obs/registry.hpp"
 #include "serve/job_table.hpp"
 #include "serve/request.hpp"
 #include "serve/server.hpp"
@@ -60,13 +61,14 @@ TEST(Request, NameParsersRoundTripAndRejectUnknown) {
 
 TEST(JobTable, LifecycleDoneAndFetchedOnce) {
   JobTable table;
-  const std::uint64_t id = table.submit("test", [](const engine::CancelView&) {
-    JobOutcome outcome;
-    outcome.json = "{}\n";
-    outcome.values_hash = 42;
-    outcome.summary = "answer";
-    return outcome;
-  });
+  const std::uint64_t id = table.submit(
+      "test", [](const engine::CancelView&, const JobTable::ProgressFn&) {
+        JobOutcome outcome;
+        outcome.json = "{}\n";
+        outcome.values_hash = 42;
+        outcome.summary = "answer";
+        return outcome;
+      });
   const auto fetched = table.fetch(id, /*wait=*/true);
   ASSERT_TRUE(fetched.has_value());
   EXPECT_EQ(fetched->status.state, JobState::kDone);
@@ -78,8 +80,9 @@ TEST(JobTable, LifecycleDoneAndFetchedOnce) {
 
 TEST(JobTable, FailedJobReportsDetail) {
   JobTable table;
-  const std::uint64_t id =
-      table.submit("test", [](const engine::CancelView&) -> JobOutcome {
+  const std::uint64_t id = table.submit(
+      "test",
+      [](const engine::CancelView&, const JobTable::ProgressFn&) -> JobOutcome {
         throw std::runtime_error("boom");
       });
   const auto fetched = table.fetch(id, true);
@@ -91,8 +94,10 @@ TEST(JobTable, FailedJobReportsDetail) {
 TEST(JobTable, CancelMarksPromptlyAndWorkUnwinds) {
   JobTable table;
   std::atomic<bool> started{false};
-  const std::uint64_t id =
-      table.submit("test", [&](const engine::CancelView& cancel) -> JobOutcome {
+  const std::uint64_t id = table.submit(
+      "test",
+      [&](const engine::CancelView& cancel,
+          const JobTable::ProgressFn&) -> JobOutcome {
         started = true;
         for (;;) {
           std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -116,12 +121,15 @@ TEST(JobTable, CancelMarksPromptlyAndWorkUnwinds) {
 TEST(JobTable, ShutdownCancelsEverything) {
   JobTable table;
   for (int i = 0; i < 3; ++i) {
-    table.submit("test", [](const engine::CancelView& cancel) -> JobOutcome {
-      for (;;) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(1));
-        cancel.throw_if_stale("shutdown");
-      }
-    });
+    table.submit(
+        "test",
+        [](const engine::CancelView& cancel,
+           const JobTable::ProgressFn&) -> JobOutcome {
+          for (;;) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+            cancel.throw_if_stale("shutdown");
+          }
+        });
   }
   table.shutdown();
   EXPECT_EQ(table.size(), 0u);
@@ -284,6 +292,88 @@ TEST(Server, JobsListsLiveEntries) {
   EXPECT_NE(listing.find("ok jobs=1"), std::string::npos);
   respond(server, "result 1 --wait");
   EXPECT_EQ(respond(server, "jobs"), "ok jobs=0\n");
+}
+
+TEST(Server, StatusReportsProgressAndElapsed) {
+  Server server(ServerOptions{2});
+  respond(server,
+          "batch --scenario=chain-reference --miners=8 --chains=2 --days=1 "
+          "--replicas=4 --seed=3");
+  // Poll status (which never consumes the entry) until the job lands.
+  std::string status;
+  for (int i = 0; i < 2000; ++i) {
+    status = respond(server, "status 1");
+    if (status.find("state=done") != std::string::npos) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_NE(status.find("state=done"), std::string::npos);
+  EXPECT_NE(status.find(" progress=4/4"), std::string::npos);
+  EXPECT_NE(status.find(" ci="), std::string::npos);
+  EXPECT_NE(status.find(" elapsed_ms="), std::string::npos);
+  respond(server, "result 1 --wait");
+}
+
+TEST(Server, WatchStreamsMonotoneProgressRows) {
+  Server server(ServerOptions{2});
+  respond(server,
+          "batch --scenario=chain-reference --miners=16 --chains=2 --days=2 "
+          "--replicas=64 --seed=5");
+  const std::string reply = respond(server, "watch 1 --interval-ms=2");
+  std::istringstream lines(reply);
+  std::string line;
+  std::size_t rows = 0;
+  std::uint64_t previous_done = 0;
+  std::string last_row;
+  while (std::getline(lines, line)) {
+    if (line.rfind("progress id=1 ", 0) != 0) continue;
+    ++rows;
+    const std::size_t pos = line.find(" progress=");
+    ASSERT_NE(pos, std::string::npos) << line;
+    const std::uint64_t done =
+        std::stoull(line.substr(pos + std::string(" progress=").size()));
+    EXPECT_GE(done, previous_done) << line;  // monotone across rows
+    previous_done = done;
+    last_row = line;
+  }
+  // The protocol guarantee: an initial row plus a terminal row at minimum.
+  EXPECT_GE(rows, 2u);
+  EXPECT_NE(last_row.find("state=done"), std::string::npos);
+  EXPECT_NE(last_row.find(" progress=64/64"), std::string::npos);
+  EXPECT_NE(reply.find("ok id=1 rows="), std::string::npos);
+  respond(server, "result 1 --wait");
+  // After the fetch the id is gone; watch reports that instead of hanging.
+  EXPECT_EQ(respond(server, "watch 1").rfind("err unknown job", 0), 0u);
+  EXPECT_EQ(respond(server, "watch 1 --bogus=1").rfind("err ", 0), 0u);
+}
+
+TEST(Server, StatsExposesRegistryCounters) {
+  Server server(ServerOptions{2});
+  respond(server,
+          "batch --scenario=chain-reference --miners=8 --chains=2 --days=1 "
+          "--replicas=4 --seed=9");
+  respond(server, "result 1 --wait");
+  const std::string json = respond(server, "stats --json");
+  // One compact JSON payload line, then the ok terminator.
+  EXPECT_EQ(json.rfind("{\"counters\": ", 0), 0u);
+  EXPECT_NE(json.find("\"serve.jobs.submitted\": "), std::string::npos);
+  EXPECT_NE(json.find("\"engine.pool.tasks\": "), std::string::npos);
+  EXPECT_NE(json.find("\nok stats counters="), std::string::npos);
+  // The counters reflect the drained job.
+  const obs::Snapshot snapshot = obs::Registry::instance().snapshot();
+  const obs::CounterSnapshot* submitted =
+      snapshot.find_counter("serve.jobs.submitted");
+  ASSERT_NE(submitted, nullptr);
+  EXPECT_GE(submitted->value, 1u);
+  const obs::CounterSnapshot* pool_tasks =
+      snapshot.find_counter("engine.pool.tasks");
+  ASSERT_NE(pool_tasks, nullptr);
+  EXPECT_GE(pool_tasks->value, 1u);
+  // Default rendering is Prometheus-style exposition text.
+  const std::string prom = respond(server, "stats");
+  EXPECT_NE(prom.find("goc_serve_jobs_submitted "), std::string::npos);
+  EXPECT_NE(prom.find("goc_engine_pool_task_run_ns_bucket{le="),
+            std::string::npos);
+  EXPECT_EQ(respond(server, "stats --frob").rfind("err ", 0), 0u);
 }
 
 TEST(Server, ServeLoopDrivesAFullSession) {

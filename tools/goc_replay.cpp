@@ -5,6 +5,7 @@
 #include "replay/golden.hpp"
 #include "replay/replay.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 /// \file goc_replay.cpp
 /// `goc-replay` — record, verify and inspect binary replay artifacts.
@@ -124,6 +125,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
   const std::string command = argv[1];
   const goc::Cli cli(argc - 1, argv + 1);
+  if (cli.get_bool("verbose", false)) {
+    goc::set_log_level(goc::LogLevel::Debug);
+  }
   try {
     if (command == "record") return run_record(cli);
     if (command == "verify") return run_verify(cli.positional());

@@ -20,12 +20,16 @@
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "obs/stats_log.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/log.hpp"
 
 namespace {
 
@@ -43,7 +47,7 @@ int serve_tcp(goc::serve::Server& server, std::uint16_t port) {
   ::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill the daemon
   const int listener = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listener < 0) {
-    std::cerr << "goc-serve: socket: " << std::strerror(errno) << "\n";
+    GOC_LOG(Error) << "goc-serve: socket: " << std::strerror(errno);
     return 1;
   }
   int one = 1;
@@ -55,7 +59,7 @@ int serve_tcp(goc::serve::Server& server, std::uint16_t port) {
   if (::bind(listener, reinterpret_cast<::sockaddr*>(&addr), sizeof(addr)) !=
           0 ||
       ::listen(listener, 4) != 0) {
-    std::cerr << "goc-serve: bind/listen: " << std::strerror(errno) << "\n";
+    GOC_LOG(Error) << "goc-serve: bind/listen: " << std::strerror(errno);
     ::close(listener);
     return 1;
   }
@@ -69,9 +73,10 @@ int serve_tcp(goc::serve::Server& server, std::uint16_t port) {
     const int fd = ::accept(listener, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      std::cerr << "goc-serve: accept: " << std::strerror(errno) << "\n";
+      GOC_LOG(Error) << "goc-serve: accept: " << std::strerror(errno);
       break;
     }
+    GOC_LOG(Debug) << "goc-serve: client connected";
     std::string buffer;
     char chunk[4096];
     bool open = true;
@@ -97,8 +102,8 @@ int serve_tcp(goc::serve::Server& server, std::uint16_t port) {
 
 int run(int argc, char** argv) {
   const goc::Cli cli(argc, argv);
-  const std::vector<std::string> stray =
-      cli.unknown({"threads", "port", "help"});
+  const std::vector<std::string> stray = cli.unknown(
+      {"threads", "port", "help", "verbose", "stats-log", "stats-interval"});
   if (!stray.empty()) {
     std::cerr << "goc-serve: unknown option(s):";
     for (const auto& name : stray) std::cerr << " --" << name;
@@ -106,15 +111,39 @@ int run(int argc, char** argv) {
     return 2;
   }
   if (cli.get_bool("help", false)) {
-    std::cout << "goc-serve [--threads=N] [--port=P]\n"
+    std::cout << "goc-serve [--threads=N] [--port=P] [--verbose]\n"
+              << "          [--stats-log=PATH] [--stats-interval=MS]\n"
               << "  line protocol on stdin/stdout (or a loopback TCP\n"
               << "  listener with --port; port 0 = OS-assigned).\n"
+              << "  --verbose lowers the stderr log level to debug\n"
+              << "  (GOC_LOG_LEVEL presets it); --stats-log appends one\n"
+              << "  JSON metrics snapshot per interval (default 1000 ms)\n"
+              << "  to PATH as JSONL.\n"
               << "  Type 'help' at the prompt for the command grammar.\n";
     return 0;
+  }
+  if (cli.get_bool("verbose", false)) {
+    goc::set_log_level(goc::LogLevel::Debug);
+  }
+  std::unique_ptr<goc::obs::StatsLogger> stats_log;
+  if (cli.has("stats-log")) {
+    goc::obs::StatsLogger::Options log_options;
+    log_options.path = cli.get_string("stats-log", "");
+    log_options.interval_ms = cli.get_u64("stats-interval", 1000);
+    try {
+      stats_log = std::make_unique<goc::obs::StatsLogger>(log_options);
+    } catch (const std::exception& error) {
+      std::cerr << "goc-serve: " << error.what() << "\n";
+      return 2;
+    }
+    GOC_LOG(Info) << "goc-serve: stats JSONL -> " << log_options.path
+                  << " every " << log_options.interval_ms << " ms";
   }
   goc::serve::ServerOptions options;
   options.threads = cli.get_u64("threads", 0);
   goc::serve::Server server(options);
+  GOC_LOG(Debug) << "goc-serve: pool ready with " << server.lanes()
+                 << " lanes";
   if (cli.has("port")) {
     return serve_tcp(server,
                      static_cast<std::uint16_t>(cli.get_u64("port", 0)));
